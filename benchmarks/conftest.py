@@ -1,0 +1,38 @@
+"""Benchmark fixtures.
+
+The paper-scale pipeline is built once per session and pre-warmed so
+that each benchmark measures its *analysis* stage, not world generation
+or feed collection.  Every benchmark prints the regenerated table or
+figure through ``capsys.disabled()`` so the paper-shaped artifact lands
+in the benchmark log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecosystem import paper_config
+from repro.pipeline import PaperPipeline
+
+
+@pytest.fixture(scope="session")
+def pipeline():
+    p = PaperPipeline(paper_config(), seed=2012)
+    p.run()
+    # Warm the shared caches (crawl verdicts, unique-domain sets) so
+    # individual benchmarks time their own analysis, not the first
+    # toucher's cache fill.
+    p.comparison.crawl_results()
+    return p
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print an artifact to the real stdout despite capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

@@ -1,0 +1,9 @@
+"""Figure 10: first-appearance time, honeypot-relative reference."""
+
+
+def test_fig10_first_appearance_honeypot(benchmark, pipeline, show):
+    stats = benchmark(pipeline.figure10)
+    fig9 = pipeline.figure9()
+    for feed in ("mx1", "mx3"):
+        assert stats[feed].median < fig9[feed].median
+    show(pipeline.render_figure10())

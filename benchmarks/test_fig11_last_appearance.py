@@ -1,0 +1,11 @@
+"""Figure 11: last appearance vs. aggregate campaign end."""
+
+from repro.simtime import MINUTES_PER_DAY
+
+
+def test_fig11_last_appearance(benchmark, pipeline, show):
+    stats = benchmark(pipeline.figure11)
+    for box in stats.values():
+        assert box.median < 2 * MINUTES_PER_DAY
+        assert box.p5 >= 0.0
+    show(pipeline.render_figure11())

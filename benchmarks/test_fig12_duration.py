@@ -1,0 +1,8 @@
+"""Figure 12: per-feed domain lifetime vs. aggregate campaign duration."""
+
+
+def test_fig12_duration(benchmark, pipeline, show):
+    stats = benchmark(pipeline.figure12)
+    for box in stats.values():
+        assert box.p95 >= box.median >= 0.0
+    show(pipeline.render_figure12())

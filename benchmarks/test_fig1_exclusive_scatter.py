@@ -1,0 +1,12 @@
+"""Figure 1: distinct vs. exclusive domains per feed (live and tagged)."""
+
+
+def test_fig1_exclusive_scatter(benchmark, pipeline, show):
+    def both_panels():
+        return (pipeline.figure1("live"), pipeline.figure1("tagged"))
+
+    live, tagged = benchmark(both_panels)
+    assert {p.feed for p in live} == set(pipeline.feed_order)
+    by_feed = {p.feed: p for p in live}
+    assert by_feed["Hyb"].exclusive_fraction > 0.5
+    show(pipeline.render_figure1())

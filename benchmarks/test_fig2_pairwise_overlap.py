@@ -1,0 +1,11 @@
+"""Figure 2: pairwise feed intersection matrices (live and tagged)."""
+
+
+def test_fig2_pairwise_overlap(benchmark, pipeline, show):
+    def both_matrices():
+        return (pipeline.figure2("live"), pipeline.figure2("tagged"))
+
+    live, tagged = benchmark(both_matrices)
+    assert tagged.union_coverage("Hu") > 0.6
+    assert live.combined_coverage(["Hu", "Hyb"]) > 0.85
+    show(pipeline.render_figure2())

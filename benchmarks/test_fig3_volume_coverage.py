@@ -1,0 +1,14 @@
+"""Figure 3: spam volume coverage via the incoming mail oracle."""
+
+
+def test_fig3_volume_coverage(benchmark, pipeline, show):
+    def both_panels():
+        return (pipeline.figure3("live"), pipeline.figure3("tagged"))
+
+    live, tagged = benchmark(both_panels)
+    by_feed = {r.feed: r for r in tagged}
+    leaders = sorted(
+        by_feed, key=lambda n: by_feed[n].covered_fraction, reverse=True
+    )[:3]
+    assert set(leaders) == {"Hu", "uribl", "dbl"}
+    show(pipeline.render_figure3())

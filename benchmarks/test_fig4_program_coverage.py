@@ -1,0 +1,8 @@
+"""Figure 4: pairwise affiliate-program coverage."""
+
+
+def test_fig4_program_coverage(benchmark, pipeline, show):
+    matrix = benchmark(pipeline.figure4)
+    assert matrix.union_coverage("Hu") == 1.0
+    assert matrix.union_coverage("Bot") < 0.4
+    show(pipeline.render_figure4())

@@ -1,0 +1,9 @@
+"""Figure 5: pairwise RX-Promotion affiliate-identifier coverage."""
+
+
+def test_fig5_rx_affiliates(benchmark, pipeline, show):
+    matrix = benchmark(pipeline.figure5)
+    coverage = {f: matrix.union_coverage(f) for f in matrix.feeds}
+    assert max(coverage, key=coverage.get) == "Hu"
+    assert matrix.intersection("Bot", "All") <= 6
+    show(pipeline.render_figure5())

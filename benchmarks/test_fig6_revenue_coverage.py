@@ -1,0 +1,9 @@
+"""Figure 6: revenue-weighted RX affiliate coverage."""
+
+
+def test_fig6_revenue_coverage(benchmark, pipeline, show):
+    rows = benchmark(pipeline.figure6)
+    by_feed = {r.feed: r for r in rows}
+    assert by_feed["Hu"].covered_revenue >= by_feed["dbl"].covered_revenue
+    assert by_feed["dbl"].covered_revenue > 0.5 * by_feed["Hu"].covered_revenue
+    show(pipeline.render_figure6())

@@ -1,0 +1,10 @@
+"""Figure 7: pairwise variation distance of tagged-domain frequency."""
+
+from repro.analysis.proportionality import MAIL
+
+
+def test_fig7_variation_distance(benchmark, pipeline, show):
+    matrix = benchmark(pipeline.figure7)
+    distances = {f: row[MAIL] for f, row in matrix.items() if f != MAIL}
+    assert min(distances, key=distances.get) == "mx2"
+    show(pipeline.render_figure7())

@@ -1,0 +1,13 @@
+"""Figure 8: pairwise Kendall rank correlation of tagged-domain frequency."""
+
+from repro.analysis.proportionality import MAIL
+
+
+def test_fig8_kendall_tau(benchmark, pipeline, show):
+    matrix = benchmark(pipeline.figure8)
+    for feed, row in matrix.items():
+        if feed != MAIL:
+            assert row[feed] == 1.0
+        for value in row.values():
+            assert -1.0 <= value <= 1.0
+    show(pipeline.render_figure8())

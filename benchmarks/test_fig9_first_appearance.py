@@ -1,0 +1,11 @@
+"""Figure 9: relative first-appearance time (reference: all but Bot)."""
+
+from repro.simtime import MINUTES_PER_DAY
+
+
+def test_fig9_first_appearance(benchmark, pipeline, show):
+    stats = benchmark(pipeline.figure9)
+    assert stats["dbl"].median < MINUTES_PER_DAY
+    assert stats["Hu"].median < MINUTES_PER_DAY
+    assert stats["mx1"].median > stats["Hu"].median
+    show(pipeline.render_figure9())

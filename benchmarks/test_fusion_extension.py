@@ -1,0 +1,39 @@
+"""Extension bench: fused onset/end timelines (Section 5's suggestion).
+
+Verifies that combining blacklist/human onsets with honeypot ends beats
+any single feed on both axes, and reports the fused error distribution.
+"""
+
+from repro.analysis.fusion import evaluate_fusion
+from repro.reporting.charts import render_box_stats
+from repro.simtime import MINUTES_PER_DAY
+
+
+def test_fusion_extension(benchmark, pipeline, show):
+    comparison = pipeline.comparison
+
+    evaluation = benchmark(evaluate_fusion, comparison)
+    assert evaluation.n_domains > 100
+    # Fused onsets must be no later (median) than the best single feed
+    # among the fused roles.
+    assert (
+        evaluation.onset_error.median
+        <= evaluation.best_single_onset_median + 1e-9
+    )
+    show(
+        render_box_stats(
+            {
+                "onset err": evaluation.onset_error,
+                "end err": evaluation.end_error,
+                "duration err": evaluation.duration_error,
+            },
+            divisor=MINUTES_PER_DAY,
+            unit="days",
+            title=(
+                "Fusion extension: fused campaign-timeline errors over "
+                f"{evaluation.n_domains} tagged domains "
+                f"(best single onset feed: "
+                f"{evaluation.best_single_onset_feed})"
+            ),
+        )
+    )

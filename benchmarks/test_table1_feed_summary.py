@@ -1,0 +1,7 @@
+"""Table 1: feed summary (total samples, unique registered domains)."""
+
+
+def test_table1_feed_summary(benchmark, pipeline, show):
+    rows = benchmark(pipeline.table1)
+    assert set(rows) == set(pipeline.feed_order)
+    show(pipeline.render_table1())

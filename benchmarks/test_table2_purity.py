@@ -1,0 +1,11 @@
+"""Table 2: purity indicators (DNS, HTTP, Tagged, ODP, Alexa)."""
+
+
+def test_table2_purity(benchmark, pipeline, show):
+    rows = benchmark(pipeline.table2)
+    assert len(rows) == len(pipeline.feed_order)
+    by_feed = {r.feed: r for r in rows}
+    # Headline anomalies must be present in the regenerated table.
+    assert by_feed["Bot"].dns < 0.1
+    assert by_feed["dbl"].dns == 1.0
+    show(pipeline.render_table2())

@@ -1,0 +1,9 @@
+"""Table 3: total and exclusive live/tagged domain counts."""
+
+
+def test_table3_coverage(benchmark, pipeline, show):
+    rows = benchmark(pipeline.table3)
+    by_feed = {r.feed: r for r in rows}
+    tagged = {n: r.total_tagged for n, r in by_feed.items()}
+    assert max(tagged, key=tagged.get) == "Hu"
+    show(pipeline.render_table3())

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Blacklist latency sweep: how fast must a blacklist be to matter?
+
+Section 4.4 shows that dbl lists most domains within a day of their
+first appearance -- early enough to blunt a campaign -- while honeypot
+feeds lag by days, after "spammers have already had multiple days to
+monetize their campaigns."
+
+This study sweeps the blacklist's listing latency and measures, for
+each setting, (a) the median first-appearance lag relative to the other
+feeds and (b) the fraction of eventual spam volume that arrives *after*
+listing (the volume the blacklist could have blocked).
+"""
+
+import argparse
+import sys
+
+from repro import FeedComparison, build_world, paper_config, small_config
+from repro.analysis import first_appearance_latencies
+from repro.feeds import BlacklistConfig, BlacklistFeed, standard_feed_suite
+from repro.feeds.suite import collect_all
+from repro.reporting.tables import Table
+from repro.simtime import MINUTES_PER_DAY, MINUTES_PER_HOUR
+
+LATENCIES_HOURS = (1, 6, 12, 24, 48, 96)
+
+
+def blockable_volume_fraction(world, dataset) -> float:
+    """Share of emitted spam volume arriving after the listing time."""
+    listed_at = dataset.first_seen()
+    blockable = 0.0
+    total = 0.0
+    for campaign in world.campaigns:
+        for placement in campaign.placements:
+            total += placement.volume
+            t = listed_at.get(placement.domain)
+            if t is None or t >= placement.end:
+                continue
+            if t <= placement.start:
+                blockable += placement.volume
+            else:
+                remaining = (placement.end - t) / placement.duration
+                blockable += placement.volume * remaining
+    return blockable / total if total else 0.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true")
+    parser.add_argument("--seed", type=int, default=2012)
+    args = parser.parse_args(argv)
+
+    config = small_config() if args.small else paper_config()
+    print("Building world...", flush=True)
+    world = build_world(config, seed=args.seed)
+    base = collect_all(world, standard_feed_suite(args.seed))
+
+    table = Table(
+        ["Latency (h)", "Listed domains", "Median lag (d)",
+         "Blockable volume"],
+        title="Blacklist listing-latency sweep",
+    )
+    for hours in LATENCIES_HOURS:
+        feed = BlacklistFeed(
+            BlacklistConfig(
+                name="bl-sweep",
+                broad_volume_scale=6_000.0,
+                user_volume_scale=70.0,
+                user_weight=1.0,
+                latency_mean_minutes=hours * MINUTES_PER_HOUR,
+                benign_fp_domains=0,
+            ),
+            args.seed,
+        )
+        datasets = dict(base)
+        datasets["bl-sweep"] = feed.collect(world)
+        comparison = FeedComparison(world, datasets, seed=args.seed)
+        stats = first_appearance_latencies(
+            comparison,
+            ["bl-sweep"],
+            reference_feeds=[n for n in datasets if n != "Bot"],
+        )
+        median_days = (
+            stats["bl-sweep"].median / MINUTES_PER_DAY
+            if "bl-sweep" in stats
+            else float("nan")
+        )
+        blockable = blockable_volume_fraction(
+            world, datasets["bl-sweep"]
+        )
+        table.add_row(
+            str(hours),
+            f"{datasets['bl-sweep'].n_unique:,}",
+            f"{median_days:.2f}",
+            f"{100 * blockable:.1f}%",
+        )
+        print(f"  latency {hours:>3}h done", flush=True)
+
+    print()
+    print(table.render())
+    print()
+    print(
+        "Reading: every hour of listing latency is spam delivered; past "
+        "~2 days the blacklist is no better than a honeypot feed."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

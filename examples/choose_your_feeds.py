@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Section 5 as a decision tool: which feeds for which question?
+
+The paper's conclusion gives per-question guidance ("human-identified
+feeds are usually the best choice... avoid them for last-appearance
+information... blacklists are the next best coverage source...").
+This example runs the ranking engine for every study type, builds a
+diverse feed portfolio under a budget, and prints the operational
+filter trade-off table.
+"""
+
+import argparse
+import sys
+
+from repro import PaperPipeline, paper_config, small_config
+from repro.analysis.filtering import evaluate_all_filters
+from repro.analysis.recommend import (
+    Question,
+    diverse_portfolio,
+    portfolio_coverage,
+    rank_feeds,
+)
+from repro.reporting.tables import Table, format_percent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true")
+    parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument(
+        "--budget", type=int, default=3,
+        help="portfolio size for the diversity recommendation",
+    )
+    args = parser.parse_args(argv)
+
+    config = small_config() if args.small else paper_config()
+    pipeline = PaperPipeline(config, seed=args.seed)
+    print("Building world and collecting feeds...", flush=True)
+    pipeline.run()
+    comparison = pipeline.comparison
+
+    print("\n=== Best feed per research question ===")
+    for question in Question:
+        ranking = rank_feeds(comparison, question)
+        best = ranking[0]
+        runner_up = ranking[1] if len(ranking) > 1 else None
+        line = f"{question.value:16} -> {best.feed:6} ({best.rationale})"
+        if runner_up:
+            line += f"; next: {runner_up.feed}"
+        print(line)
+
+    print(f"\n=== Diverse portfolio (budget: {args.budget} feeds) ===")
+    portfolio = diverse_portfolio(comparison, args.budget, kind="tagged")
+    coverage = portfolio_coverage(comparison, portfolio, kind="tagged")
+    print(f"pick {portfolio}: {100 * coverage:.0f}% of tagged union")
+    # Show the marginal value of each pick.
+    for size in range(1, len(portfolio) + 1):
+        prefix = portfolio[:size]
+        fraction = portfolio_coverage(comparison, prefix, kind="tagged")
+        print(f"  first {size}: {prefix} -> {100 * fraction:.0f}%")
+
+    print("\n=== Feeds as blocking oracles ===")
+    reports = evaluate_all_filters(comparison)
+    table = Table(
+        ["Feed", "Precision", "Timely recall", "Collateral"],
+    )
+    for name in pipeline.feed_order:
+        report = reports[name]
+        table.add_row(
+            name,
+            format_percent(report.precision),
+            format_percent(report.timely_volume_recall),
+            format_percent(report.collateral_fraction),
+        )
+    print(table.render())
+    print(
+        "\nReading: only the blacklists combine high precision with "
+        "near-zero collateral -- the paper's conclusion that purity is "
+        "paramount when a feed drives filtering directly."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

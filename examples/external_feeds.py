@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Run the analysis on externally-supplied feed files.
+
+Real deployments receive feeds as files, not simulator objects.  This
+example (a) exports the simulated feeds to JSONL -- the format a data
+provider would ship, one sighting per line -- then (b) reloads them from
+disk and re-runs the comparison, demonstrating that the analysis layer
+is decoupled from the simulator: any JSONL feeds keyed to registered
+domains can be compared the same way.
+
+It also shows the URL-normalization path: a provider shipping full URLs
+is reduced to registered domains with ``try_domain_of_url``.
+"""
+
+import argparse
+import sys
+import tempfile
+
+from repro import FeedComparison, build_world, small_config
+from repro.analysis import purity_table
+from repro.domains.url import try_domain_of_url
+from repro.feeds import standard_feed_suite
+from repro.feeds.suite import collect_all
+from repro.io import read_feeds_dir, write_feeds_dir
+from repro.reporting.tables import Table, format_percent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    # A provider shipping raw URLs: normalize to registered domains.
+    raw_urls = [
+        "http://www.pillstore99.info/buy?aff=12",
+        "https://shop.replica-watches.biz/",
+        "http://192.0.2.7/clickme",       # IP literal: dropped
+        "not a url at all",                # garbage: dropped
+    ]
+    normalized = [try_domain_of_url(u) for u in raw_urls]
+    print("URL normalization:")
+    for url, domain in zip(raw_urls, normalized):
+        print(f"  {url!r:50} -> {domain!r}")
+
+    print("\nBuilding world and collecting feeds...", flush=True)
+    world = build_world(small_config(), seed=args.seed)
+    datasets = collect_all(world, standard_feed_suite(args.seed))
+
+    with tempfile.TemporaryDirectory() as directory:
+        write_feeds_dir(datasets, directory)
+        print(f"Exported {len(datasets)} feeds to {directory}")
+
+        reloaded = read_feeds_dir(directory)
+        print(f"Reloaded {len(reloaded)} feeds from disk")
+
+        comparison = FeedComparison(world, reloaded, seed=args.seed)
+        table = Table(
+            ["Feed", "DNS", "HTTP", "Tagged"],
+            title="Purity (recomputed from the on-disk feeds)",
+        )
+        for row in purity_table(comparison):
+            table.add_row(
+                row.feed,
+                format_percent(row.dns),
+                format_percent(row.http),
+                format_percent(row.tagged),
+            )
+        print()
+        print(table.render())
+
+    # Consistency check: disk round-trip must not change the analysis.
+    # (Feed *order* differs -- files load alphabetically -- so compare
+    # keyed by feed name.)
+    direct = {
+        r.feed: r.dns
+        for r in purity_table(FeedComparison(world, datasets, seed=args.seed))
+    }
+    roundtrip = {r.feed: r.dns for r in purity_table(comparison)}
+    assert direct == roundtrip
+    print("\nRound-trip analysis identical to in-memory analysis.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

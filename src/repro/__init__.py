@@ -1,0 +1,59 @@
+"""Taster's Choice reproduction: comparative analysis of spam feeds.
+
+A full reproduction of Pitsillidis et al., "Taster's Choice: A
+Comparative Analysis of Spam Feeds" (IMC 2012), with the proprietary
+inputs replaced by a generative spam-ecosystem simulator (see DESIGN.md
+for the substitution map).
+
+Quickstart::
+
+    from repro import PaperPipeline
+
+    pipeline = PaperPipeline(seed=2012)
+    print(pipeline.render_table2())     # purity indicators
+    print(pipeline.render_figure9())    # first-appearance latency
+
+Packages:
+
+* :mod:`repro.domains`   -- registered-domain model and generators
+* :mod:`repro.ecosystem` -- ground-truth world simulator
+* :mod:`repro.feeds`     -- the ten feed collectors
+* :mod:`repro.oracles`   -- DNS/crawl/weblist/mail oracles
+* :mod:`repro.analysis`  -- purity/coverage/proportionality/timing
+* :mod:`repro.pipeline`  -- the end-to-end paper pipeline
+* :mod:`repro.reporting` -- text rendering of tables and figures
+* :mod:`repro.io`        -- JSONL/CSV serialization
+"""
+
+from repro.analysis import FeedComparison
+from repro.ecosystem import (
+    EcosystemConfig,
+    World,
+    build_world,
+    paper_config,
+    small_config,
+)
+from repro.feeds import (
+    FeedDataset,
+    PAPER_FEED_ORDER,
+    collect_all,
+    standard_feed_suite,
+)
+from repro.pipeline import PaperPipeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EcosystemConfig",
+    "FeedComparison",
+    "FeedDataset",
+    "PAPER_FEED_ORDER",
+    "PaperPipeline",
+    "World",
+    "__version__",
+    "build_world",
+    "collect_all",
+    "paper_config",
+    "small_config",
+    "standard_feed_suite",
+]

@@ -1,0 +1,119 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``run``       -- build the world, collect the feeds, print/write every
+                   table and figure.
+* ``recommend`` -- rank feeds for a research question (Section 5).
+* ``filter``    -- evaluate feeds as blocking oracles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.filtering import evaluate_all_filters
+from repro.analysis.recommend import Question, rank_feeds
+from repro.ecosystem import paper_config, small_config
+from repro.pipeline import PaperPipeline
+from repro.reporting.report import write_report
+from repro.reporting.tables import Table, format_percent
+
+
+def _build_pipeline(args) -> PaperPipeline:
+    config = small_config() if args.small else paper_config()
+    pipeline = PaperPipeline(config, seed=args.seed)
+    print("Building world and collecting feeds...", file=sys.stderr)
+    pipeline.run()
+    return pipeline
+
+
+def _cmd_run(args) -> int:
+    pipeline = _build_pipeline(args)
+    if args.output:
+        files = write_report(pipeline, args.output)
+        print(f"Wrote {len(files)} artifacts to {args.output}:")
+        for name in files:
+            print(f"  {name}")
+    else:
+        print(pipeline.render_all())
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    pipeline = _build_pipeline(args)
+    question = Question(args.question)
+    ranking = rank_feeds(pipeline.comparison, question)
+    print(f"Feed ranking for question: {question.value}")
+    for rank, score in enumerate(ranking, start=1):
+        print(f"  {rank:2}. {score}")
+    return 0
+
+
+def _cmd_filter(args) -> int:
+    pipeline = _build_pipeline(args)
+    reports = evaluate_all_filters(pipeline.comparison)
+    table = Table(
+        ["Feed", "Listed", "Precision", "Vol. recall", "Timely recall",
+         "Collateral"],
+        title="Feeds as blocking oracles",
+    )
+    for name in pipeline.feed_order:
+        if name not in reports:
+            continue
+        report = reports[name]
+        table.add_row(
+            name,
+            f"{report.listed:,}",
+            format_percent(report.precision),
+            format_percent(report.volume_recall),
+            format_percent(report.timely_volume_recall),
+            format_percent(report.collateral_fraction),
+        )
+    print(table.render())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Taster's Choice spam-feed comparison reproduction",
+    )
+    parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument(
+        "--small", action="store_true", help="use the miniature world"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="regenerate every table and figure"
+    )
+    run_parser.add_argument(
+        "--output", "-o", default=None,
+        help="write artifacts to this directory instead of stdout",
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    rec_parser = subparsers.add_parser(
+        "recommend", help="rank feeds for a research question"
+    )
+    rec_parser.add_argument(
+        "question",
+        choices=[q.value for q in Question],
+    )
+    rec_parser.set_defaults(handler=_cmd_recommend)
+
+    filter_parser = subparsers.add_parser(
+        "filter", help="evaluate feeds as blocking oracles"
+    )
+    filter_parser.set_defaults(handler=_cmd_filter)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Affiliate-program and affiliate coverage (Section 4.2.3-4.2.4).
+
+Beyond domains lies the structure the domains monetize: affiliate
+programs, and within the RX-Promotion analog, individual affiliates with
+known annual revenue.  A feed's business-level value is how much of that
+structure -- and its revenue -- it makes visible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.analysis.context import FeedComparison
+from repro.analysis.coverage import OverlapMatrix
+
+
+def program_sets(
+    comparison: FeedComparison,
+    feeds: Optional[Sequence[str]] = None,
+) -> Dict[str, Set[int]]:
+    """Per-feed sets of covered affiliate programs."""
+    names = list(feeds) if feeds is not None else comparison.feed_names
+    return {n: comparison.programs_of(n) for n in names}
+
+
+def rx_affiliate_sets(
+    comparison: FeedComparison,
+    feeds: Optional[Sequence[str]] = None,
+) -> Dict[str, Set[int]]:
+    """Per-feed sets of covered RX-Promotion affiliate identifiers."""
+    names = list(feeds) if feeds is not None else comparison.feed_names
+    return {n: comparison.rx_affiliates_of(n) for n in names}
+
+
+def program_coverage_matrix(
+    comparison: FeedComparison,
+    feeds: Optional[Sequence[str]] = None,
+) -> OverlapMatrix:
+    """Figure 4: pairwise feed similarity over affiliate programs."""
+    return OverlapMatrix(program_sets(comparison, feeds))
+
+
+def affiliate_coverage_matrix(
+    comparison: FeedComparison,
+    feeds: Optional[Sequence[str]] = None,
+) -> OverlapMatrix:
+    """Figure 5: pairwise feed similarity over RX affiliate ids."""
+    return OverlapMatrix(rx_affiliate_sets(comparison, feeds))
+
+
+@dataclasses.dataclass(frozen=True)
+class RevenueCoverageRow:
+    """One feed's Figure 6 bar."""
+
+    feed: str
+    n_affiliates: int
+    covered_revenue: float
+    total_revenue: float
+
+    @property
+    def revenue_fraction(self) -> float:
+        """Covered revenue as a share of all RX affiliate revenue."""
+        if self.total_revenue <= 0:
+            return 0.0
+        return self.covered_revenue / self.total_revenue
+
+
+def revenue_coverage(
+    comparison: FeedComparison,
+    feeds: Optional[Sequence[str]] = None,
+) -> List[RevenueCoverageRow]:
+    """Figure 6: RX affiliate coverage weighted by annual revenue.
+
+    Revenue comes from the (simulated) leaked program ledger: the
+    world's ground-truth per-affiliate annual revenue.
+    """
+    names = list(feeds) if feeds is not None else comparison.feed_names
+    world = comparison.world
+    rx = world.rx_program_id()
+    total_revenue = sum(
+        a.annual_revenue
+        for a in world.affiliates.values()
+        if a.program_id == rx
+    )
+    rows: List[RevenueCoverageRow] = []
+    for name in names:
+        covered_ids = comparison.rx_affiliates_of(name)
+        covered = sum(
+            world.affiliates[aid].annual_revenue
+            for aid in covered_ids
+            if aid in world.affiliates
+        )
+        rows.append(
+            RevenueCoverageRow(
+                feed=name,
+                n_affiliates=len(covered_ids),
+                covered_revenue=covered,
+                total_revenue=total_revenue,
+            )
+        )
+    return rows
+
+
+def exclusive_affiliates(
+    sets: Mapping[str, Set[int]],
+) -> Dict[str, Set[int]]:
+    """Affiliates (or programs) seen by exactly one feed.
+
+    The paper highlights that over 40% of RX affiliates were found
+    exclusively in the Hu feed.
+    """
+    occurrences: Dict[int, int] = {}
+    for members in sets.values():
+        for item in members:
+            occurrences[item] = occurrences.get(item, 0) + 1
+    return {
+        name: {item for item in members if occurrences[item] == 1}
+        for name, members in sets.items()
+    }

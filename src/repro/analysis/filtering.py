@@ -1,0 +1,146 @@
+"""Operational filter evaluation: using a feed as a blocking oracle.
+
+Section 4.1 observes that when a feed directly drives mail filtering,
+purity is paramount — a single benign domain on the list poisons every
+message carrying it — while for measurement studies impurity merely
+taxes the apparatus.  This module quantifies that trade-off: treat a
+feed's domain list as a filter and measure, against ground truth,
+
+* **precision** — listed domains that really are spam-advertised,
+* **recall** (domain and volume weighted) — how much spam it blocks,
+* **benign collateral** — mail volume of wrongly-listed benign domains,
+
+plus a simple time-aware variant where a domain only blocks messages
+after its first appearance in the feed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Set
+
+from repro.analysis.context import FeedComparison
+from repro.ecosystem.world import World
+from repro.feeds.base import FeedDataset
+
+
+@dataclasses.dataclass(frozen=True)
+class FilterReport:
+    """Outcome of evaluating one feed as a blocking oracle."""
+
+    feed: str
+    listed: int
+    true_positives: int
+    benign_positives: int
+    unknown_positives: int
+    #: Fraction of ground-truth spam domains listed.
+    domain_recall: float
+    #: Fraction of ground-truth spam volume emitted by listed domains.
+    volume_recall: float
+    #: Volume-weighted recall counting only post-listing emissions.
+    timely_volume_recall: float
+    #: Legitimate-mail volume of wrongly listed benign domains,
+    #: relative to the total legitimate volume of all benign domains.
+    collateral_fraction: float
+
+    @property
+    def precision(self) -> float:
+        """Listed domains that are genuinely spam-advertised."""
+        if self.listed == 0:
+            return 0.0
+        return self.true_positives / self.listed
+
+
+def _benign_mail_volume(comparison: FeedComparison, domain: str) -> float:
+    return comparison.mail.benign_volume(domain)
+
+
+def evaluate_filter(
+    comparison: FeedComparison,
+    feed: str,
+    world: Optional[World] = None,
+) -> FilterReport:
+    """Score *feed* as a domain-blocking filter against ground truth."""
+    world = world or comparison.world
+    dataset: FeedDataset = comparison.datasets[feed]
+    listed = comparison.unique_domains(feed)
+    first_listed = {
+        d: t for d, t in dataset.first_seen().items() if d in listed
+    }
+
+    spam_domains = world.advertised_domains() - world.benign.all_benign
+    benign = world.benign.all_benign
+
+    true_positives = len(listed & spam_domains)
+    benign_positives = len(listed & benign)
+    unknown = len(listed) - true_positives - benign_positives
+
+    volumes = world.emitted_volume_by_domain()
+    total_spam_volume = sum(
+        v for d, v in volumes.items() if d in spam_domains
+    )
+
+    blocked_volume = 0.0
+    timely_volume = 0.0
+    for campaign in world.campaigns:
+        for placement in campaign.placements:
+            domain = placement.domain
+            if domain not in spam_domains or domain not in first_listed:
+                continue
+            blocked_volume += placement.volume
+            t = first_listed[domain]
+            if t <= placement.start:
+                timely_volume += placement.volume
+            elif t < placement.end:
+                remaining = (placement.end - t) / placement.duration
+                timely_volume += placement.volume * remaining
+
+    total_benign_volume = sum(
+        _benign_mail_volume(comparison, d) for d in benign
+    )
+    collateral = sum(
+        _benign_mail_volume(comparison, d) for d in (listed & benign)
+    )
+
+    return FilterReport(
+        feed=feed,
+        listed=len(listed),
+        true_positives=true_positives,
+        benign_positives=benign_positives,
+        unknown_positives=unknown,
+        domain_recall=(
+            true_positives / len(spam_domains) if spam_domains else 0.0
+        ),
+        volume_recall=(
+            blocked_volume / total_spam_volume if total_spam_volume else 0.0
+        ),
+        timely_volume_recall=(
+            timely_volume / total_spam_volume if total_spam_volume else 0.0
+        ),
+        collateral_fraction=(
+            collateral / total_benign_volume if total_benign_volume else 0.0
+        ),
+    )
+
+
+def evaluate_all_filters(
+    comparison: FeedComparison,
+) -> Dict[str, FilterReport]:
+    """Filter reports for every feed, keyed by name."""
+    return {
+        feed: evaluate_filter(comparison, feed)
+        for feed in comparison.feed_names
+    }
+
+
+def registered_domain_hazard(
+    comparison: FeedComparison, feed: str
+) -> Set[str]:
+    """Benign domains a blacklist operator must hand-review.
+
+    These are the feed's domains that are Alexa/ODP-listed yet crawl to
+    a *tagged* storefront (abused redirectors): blocking them at the
+    registered-domain granularity would take down the whole service
+    (Section 4.1.4's warning).
+    """
+    return comparison.excluded_benign(feed, tagged_only=True)

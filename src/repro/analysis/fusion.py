@@ -1,0 +1,164 @@
+"""Feed fusion: combining the complementary strengths of feeds.
+
+Section 5 observes that blacklists and human-identified feeds provide
+highly accurate *onset* information while live-mail (honeypot) feeds
+provide faithful *last-appearance* information, and suggests that
+"combining the features of different feeds may be appropriate".  This
+module implements that suggestion: a fused per-domain timeline taking
+campaign starts from designated onset feeds and campaign ends from
+designated end feeds, and an evaluator comparing fused estimates against
+the all-feed aggregate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analysis.context import FeedComparison
+from repro.analysis.timing import (
+    BoxStats,
+    campaign_end_times,
+    campaign_start_times,
+)
+from repro.simtime import SimTime
+
+#: Default feed roles, per the paper's conclusions.
+DEFAULT_ONSET_FEEDS = ("Hu", "dbl", "uribl")
+DEFAULT_END_FEEDS = ("mx1", "mx2", "mx3", "Ac1", "Ac2")
+
+
+@dataclasses.dataclass(frozen=True)
+class FusedInterval:
+    """A fused per-domain campaign estimate."""
+
+    domain: str
+    start: SimTime
+    end: SimTime
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"inverted interval for {self.domain!r}")
+
+    @property
+    def duration(self) -> SimTime:
+        """Estimated campaign duration in minutes."""
+        return self.end - self.start
+
+
+def fuse_timelines(
+    comparison: FeedComparison,
+    onset_feeds: Sequence[str] = DEFAULT_ONSET_FEEDS,
+    end_feeds: Sequence[str] = DEFAULT_END_FEEDS,
+    kind: str = "tagged",
+) -> Dict[str, FusedInterval]:
+    """Fuse per-domain campaign intervals from role-assigned feeds.
+
+    Only domains visible to both an onset feed and an end feed can be
+    fused.  When a fused end precedes the fused start (an end feed saw
+    the domain only before the onset feeds did), the interval collapses
+    to the start point rather than inverting.
+    """
+    onset_present = [f for f in onset_feeds if f in comparison.datasets]
+    end_present = [f for f in end_feeds if f in comparison.datasets]
+    if not onset_present or not end_present:
+        raise ValueError("need at least one onset feed and one end feed")
+
+    domains: Set[str] = set()
+    for feed in set(onset_present) | set(end_present):
+        domains |= _kind_domains(comparison, feed, kind)
+
+    starts = campaign_start_times(comparison, onset_present, domains)
+    ends = campaign_end_times(comparison, end_present, domains)
+
+    fused: Dict[str, FusedInterval] = {}
+    for domain in sorted(starts.keys() & ends.keys()):
+        start = starts[domain]
+        end = max(ends[domain], start)
+        fused[domain] = FusedInterval(domain, start, end)
+    return fused
+
+
+@dataclasses.dataclass(frozen=True)
+class FusionEvaluation:
+    """Fused-vs-aggregate timing errors plus per-feed baselines."""
+
+    onset_error: BoxStats
+    end_error: BoxStats
+    duration_error: BoxStats
+    n_domains: int
+    #: Median onset error of the best *single* feed, for comparison.
+    best_single_onset_median: float
+    best_single_onset_feed: str
+
+
+def evaluate_fusion(
+    comparison: FeedComparison,
+    onset_feeds: Sequence[str] = DEFAULT_ONSET_FEEDS,
+    end_feeds: Sequence[str] = DEFAULT_END_FEEDS,
+    kind: str = "tagged",
+    reference_feeds: Optional[Sequence[str]] = None,
+) -> FusionEvaluation:
+    """Compare fused estimates against the all-feed aggregate.
+
+    The reference "truth" is the aggregate over *reference_feeds*
+    (default: every feed), mirroring the paper's treatment of the
+    earliest/latest appearance across feeds as campaign start/end.
+    """
+    refs = (
+        list(reference_feeds)
+        if reference_feeds is not None
+        else comparison.feed_names
+    )
+    fused = fuse_timelines(comparison, onset_feeds, end_feeds, kind)
+    if not fused:
+        raise ValueError("no domains could be fused")
+
+    domains = set(fused)
+    ref_starts = campaign_start_times(comparison, refs, domains)
+    ref_ends = campaign_end_times(comparison, refs, domains)
+
+    onset_errors: List[float] = []
+    end_errors: List[float] = []
+    duration_errors: List[float] = []
+    for domain, interval in fused.items():
+        if domain not in ref_starts or domain not in ref_ends:
+            continue
+        onset_errors.append(float(interval.start - ref_starts[domain]))
+        end_errors.append(float(ref_ends[domain] - interval.end))
+        true_duration = ref_ends[domain] - ref_starts[domain]
+        duration_errors.append(float(true_duration - interval.duration))
+
+    # Baseline: the best single feed's onset latency over its own
+    # domains (how much the fusion buys over just picking one feed).
+    from repro.analysis.timing import first_appearance_latencies
+
+    candidates = [
+        f for f in (list(onset_feeds) + list(end_feeds))
+        if f in comparison.datasets
+    ]
+    singles = first_appearance_latencies(
+        comparison, candidates, reference_feeds=refs, kind=kind
+    )
+    best_feed = min(singles, key=lambda f: singles[f].median)
+
+    return FusionEvaluation(
+        onset_error=BoxStats.from_values(onset_errors),
+        end_error=BoxStats.from_values(end_errors),
+        duration_error=BoxStats.from_values(duration_errors),
+        n_domains=len(onset_errors),
+        best_single_onset_median=singles[best_feed].median,
+        best_single_onset_feed=best_feed,
+    )
+
+
+def _kind_domains(
+    comparison: FeedComparison, feed: str, kind: str
+) -> Set[str]:
+    if kind == "tagged":
+        return comparison.tagged_domains(feed)
+    if kind == "live":
+        return comparison.live_domains(feed)
+    if kind == "all":
+        return comparison.unique_domains(feed)
+    raise ValueError(f"unknown domain kind {kind!r}")

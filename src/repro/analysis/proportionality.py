@@ -1,0 +1,115 @@
+"""Proportionality analysis (Section 4.3, Figures 7 and 8).
+
+Does a feed report domains in proportion to their real volume?  Only
+feeds with per-message volume information participate (the Hu, Hyb and
+blacklist feeds are excluded).  Distributions are compared over tagged
+domains with total variation distance and the tie-aware Kendall rank
+correlation, plus a ``Mail`` pseudo-feed derived from the incoming mail
+oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analysis.context import FeedComparison
+from repro.stats.distributions import EmpiricalDistribution
+from repro.stats.kendall import kendall_tau_distributions
+from repro.stats.metrics import variation_distance
+
+#: Label of the incoming-mail-oracle column in Figures 7 and 8.
+MAIL = "Mail"
+
+
+def tagged_distribution(
+    comparison: FeedComparison, feed: str
+) -> EmpiricalDistribution:
+    """A feed's empirical volume distribution over its tagged domains."""
+    dataset = comparison.datasets[feed]
+    if not dataset.has_volume:
+        raise ValueError(
+            f"feed {feed!r} carries no volume information (Section 4.3)"
+        )
+    tagged = comparison.tagged_domains(feed)
+    return dataset.domain_counts().restrict(tagged)
+
+
+def mail_distribution(
+    comparison: FeedComparison,
+    feeds: Sequence[str],
+) -> EmpiricalDistribution:
+    """The oracle's distribution over the union of feeds' tagged domains.
+
+    As in the paper, domains not appearing in any feed get probability
+    zero (the oracle is only queried about feed domains).
+    """
+    union: Set[str] = set()
+    for name in feeds:
+        union |= comparison.tagged_domains(name)
+    return comparison.mail.distribution(union)
+
+
+def _participants(
+    comparison: FeedComparison, feeds: Optional[Sequence[str]]
+) -> List[str]:
+    if feeds is not None:
+        return list(feeds)
+    return comparison.volume_feed_names
+
+
+def distributions_with_mail(
+    comparison: FeedComparison,
+    feeds: Optional[Sequence[str]] = None,
+) -> Dict[str, EmpiricalDistribution]:
+    """Tagged distributions for all volume feeds plus the Mail column."""
+    names = _participants(comparison, feeds)
+    result = {name: tagged_distribution(comparison, name) for name in names}
+    result[MAIL] = mail_distribution(comparison, names)
+    return result
+
+
+def variation_distance_matrix(
+    comparison: FeedComparison,
+    feeds: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 7: pairwise variation distance of tagged-domain frequency."""
+    dists = distributions_with_mail(comparison, feeds)
+    labels = list(dists)
+    return {
+        a: {b: variation_distance(dists[a], dists[b]) for b in labels}
+        for a in labels
+    }
+
+
+def kendall_matrix(
+    comparison: FeedComparison,
+    feeds: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 8: pairwise Kendall tau-b of tagged-domain frequency."""
+    dists = distributions_with_mail(comparison, feeds)
+    labels = list(dists)
+    return {
+        a: {
+            b: kendall_tau_distributions(dists[a], dists[b])
+            for b in labels
+        }
+        for a in labels
+    }
+
+
+def closest_to_mail(
+    matrix: Dict[str, Dict[str, float]],
+    smaller_is_closer: bool = True,
+) -> List[str]:
+    """Rank feeds by similarity to the Mail column.
+
+    For variation distance pass ``smaller_is_closer=True``; for Kendall
+    correlation pass False.  The paper finds mx2 closest, Ac1 next.
+    """
+    entries = [
+        (name, row[MAIL])
+        for name, row in matrix.items()
+        if name != MAIL and MAIL in row
+    ]
+    entries.sort(key=lambda kv: kv[1], reverse=not smaller_is_closer)
+    return [name for name, _ in entries]

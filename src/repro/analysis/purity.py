@@ -1,0 +1,86 @@
+"""Purity indicators (Section 4.1, Table 2).
+
+Positive indicators -- larger is purer:
+
+* ``DNS``    -- fraction of zone-checkable domains that were registered,
+* ``HTTP``   -- fraction of domains with at least one live crawl,
+* ``Tagged`` -- fraction of domains leading to a known storefront.
+
+Negative indicators -- larger is dirtier:
+
+* ``ODP``   -- fraction appearing in the Open Directory,
+* ``Alexa`` -- fraction on the Alexa top list.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.context import FeedComparison
+
+
+@dataclasses.dataclass(frozen=True)
+class PurityRow:
+    """One feed's Table 2 row (fractions in [0, 1])."""
+
+    feed: str
+    dns: float
+    http: float
+    tagged: float
+    odp: float
+    alexa: float
+    #: Denominators, useful for significance judgments.
+    n_domains: int
+    n_zone_checkable: int
+
+    def as_percentages(self) -> Dict[str, float]:
+        """The row with indicator values scaled to percent."""
+        return {
+            "feed": self.feed,
+            "dns": 100.0 * self.dns,
+            "http": 100.0 * self.http,
+            "tagged": 100.0 * self.tagged,
+            "odp": 100.0 * self.odp,
+            "alexa": 100.0 * self.alexa,
+        }
+
+
+def purity_row(comparison: FeedComparison, feed: str) -> PurityRow:
+    """Compute one feed's purity indicators."""
+    domains = comparison.unique_domains(feed)
+    n = len(domains)
+    if n == 0:
+        return PurityRow(feed, 0.0, 0.0, 0.0, 0.0, 0.0, 0, 0)
+
+    zone_report = comparison.zone.registration_report(domains)
+    checkable = zone_report["covered"]
+    dns = (
+        zone_report["registered"] / checkable if checkable else 0.0
+    )
+
+    results = comparison.crawl_results()
+    http_ok = sum(1 for d in domains if results[d].http_ok)
+    tagged = sum(1 for d in domains if results[d].tagged)
+    odp = sum(1 for d in domains if d in comparison.odp)
+    alexa = sum(1 for d in domains if d in comparison.alexa)
+
+    return PurityRow(
+        feed=feed,
+        dns=dns,
+        http=http_ok / n,
+        tagged=tagged / n,
+        odp=odp / n,
+        alexa=alexa / n,
+        n_domains=n,
+        n_zone_checkable=checkable,
+    )
+
+
+def purity_table(
+    comparison: FeedComparison,
+    feeds: Optional[Sequence[str]] = None,
+) -> List[PurityRow]:
+    """Table 2: purity indicators for every feed."""
+    names = list(feeds) if feeds is not None else comparison.feed_names
+    return [purity_row(comparison, name) for name in names]

@@ -1,0 +1,47 @@
+"""Domain-name model.
+
+The paper compares feeds at the granularity of *registered domains*: the
+part of a fully-qualified domain name that the owner registered with the
+registrar (Section 3.1).  This package provides:
+
+* a public-suffix table and :func:`registered_domain` extraction,
+* URL parsing down to the registered domain,
+* deterministic domain-name generators used by the ecosystem simulator
+  (storefront names, benign names, and Rustock-style DGA names).
+"""
+
+from repro.domains.psl import (
+    DEFAULT_SUFFIXES,
+    PublicSuffixTable,
+    default_suffix_table,
+)
+from repro.domains.names import (
+    BenignNameGenerator,
+    DgaNameGenerator,
+    SpamNameGenerator,
+    is_plausible_dga,
+)
+from repro.domains.parse import (
+    InvalidDomainError,
+    normalize_domain,
+    registered_domain,
+    split_domain,
+)
+from repro.domains.url import InvalidUrlError, domain_of_url, parse_url
+
+__all__ = [
+    "BenignNameGenerator",
+    "DEFAULT_SUFFIXES",
+    "DgaNameGenerator",
+    "InvalidDomainError",
+    "InvalidUrlError",
+    "PublicSuffixTable",
+    "SpamNameGenerator",
+    "default_suffix_table",
+    "domain_of_url",
+    "is_plausible_dga",
+    "normalize_domain",
+    "parse_url",
+    "registered_domain",
+    "split_domain",
+]

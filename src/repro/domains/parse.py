@@ -1,0 +1,87 @@
+"""Domain-name validation, normalization, and registered-domain extraction."""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Tuple
+
+from repro.domains.psl import PublicSuffixTable, default_suffix_table
+
+
+class InvalidDomainError(ValueError):
+    """Raised when a string cannot be interpreted as a DNS domain name."""
+
+
+_LABEL_RE = re.compile(r"^[a-z0-9]([a-z0-9-]{0,61}[a-z0-9])?$")
+_MAX_DOMAIN_LENGTH = 253
+
+
+def normalize_domain(name: str) -> str:
+    """Normalize *name* into canonical lowercase dotted form.
+
+    Strips surrounding whitespace and a single trailing dot, lowercases,
+    and validates each label against RFC 1035 LDH rules.  Raises
+    :class:`InvalidDomainError` on malformed input.
+    """
+    if not isinstance(name, str):
+        raise InvalidDomainError(f"not a string: {name!r}")
+    cleaned = name.strip().rstrip(".").lower()
+    if not cleaned:
+        raise InvalidDomainError("empty domain name")
+    if len(cleaned) > _MAX_DOMAIN_LENGTH:
+        raise InvalidDomainError(f"domain too long ({len(cleaned)} chars)")
+    labels = cleaned.split(".")
+    if len(labels) < 2:
+        raise InvalidDomainError(f"no dot in domain name: {name!r}")
+    for label in labels:
+        if not _LABEL_RE.match(label):
+            raise InvalidDomainError(f"bad label {label!r} in {name!r}")
+    return cleaned
+
+
+def split_domain(
+    name: str, table: Optional[PublicSuffixTable] = None
+) -> Tuple[str, str, str]:
+    """Split *name* into ``(subdomain, registrant_label, public_suffix)``.
+
+    The subdomain part may be empty.  Raises :class:`InvalidDomainError`
+    if the name is malformed or is itself a public suffix.
+    """
+    table = table or default_suffix_table()
+    normalized = normalize_domain(name)
+    labels = normalized.split(".")
+    k = table.suffix_length(labels)
+    if len(labels) <= k:
+        raise InvalidDomainError(f"{name!r} is a public suffix")
+    suffix = ".".join(labels[-k:])
+    registrant = labels[-(k + 1)]
+    sub = ".".join(labels[: -(k + 1)])
+    return sub, registrant, suffix
+
+
+def registered_domain(
+    name: str, table: Optional[PublicSuffixTable] = None
+) -> str:
+    """Return the registered domain of *name* (Section 3.1 of the paper).
+
+    For ``cs.ucsd.edu`` this is ``ucsd.edu``; for ``a.b.example.co.uk``
+    it is ``example.co.uk``.  Raises :class:`InvalidDomainError` for
+    malformed names or bare public suffixes.
+    """
+    sub, registrant, suffix = split_domain(name, table)
+    del sub
+    return f"{registrant}.{suffix}"
+
+
+def try_registered_domain(
+    name: str, table: Optional[PublicSuffixTable] = None
+) -> Optional[str]:
+    """Like :func:`registered_domain` but returns None instead of raising.
+
+    Feeds are noisy; the analysis pipeline uses this form to drop
+    malformed records while counting them (Section 3.3).
+    """
+    try:
+        return registered_domain(name, table)
+    except InvalidDomainError:
+        return None

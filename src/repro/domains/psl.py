@@ -1,0 +1,170 @@
+"""Public-suffix table.
+
+Blacklisting and the paper's analysis both operate at the level of
+*registered* domains, so we need a way to find the boundary between the
+public suffix (administered by a registry) and the registrant's label.
+This is a compact, self-contained implementation of the public-suffix
+matching algorithm with an embedded rule set covering the TLDs that occur
+in the simulation (and the common multi-label suffixes needed to make the
+extraction logic honest: ``co.uk``, ``com.br``, wildcards, exceptions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Embedded rule set, a curated subset of the Mozilla public suffix list.
+#: Syntax follows the PSL: leading ``*.`` is a wildcard matching exactly
+#: one label; leading ``!`` marks an exception to a wildcard rule.
+DEFAULT_SUFFIXES: Tuple[str, ...] = (
+    # Generic TLDs the paper's zone-file oracle covers (Section 4.1.1)...
+    "com",
+    "net",
+    "org",
+    "biz",
+    "us",
+    "aero",
+    "info",
+    # ...plus other TLDs seen in spam feeds.
+    "edu",
+    "gov",
+    "mil",
+    "int",
+    "ru",
+    "cn",
+    "in",
+    "eu",
+    "de",
+    "fr",
+    "nl",
+    "pl",
+    "br",
+    "me",
+    "cc",
+    "tv",
+    "ws",
+    "mobi",
+    "name",
+    "pro",
+    "tel",
+    "asia",
+    "cat",
+    # Multi-label public suffixes.
+    "co.uk",
+    "org.uk",
+    "me.uk",
+    "ltd.uk",
+    "plc.uk",
+    "ac.uk",
+    "gov.uk",
+    "com.br",
+    "net.br",
+    "org.br",
+    "com.cn",
+    "net.cn",
+    "org.cn",
+    "com.ru",
+    "co.in",
+    "net.in",
+    "org.in",
+    "com.au",
+    "net.au",
+    "org.au",
+    "co.jp",
+    "ne.jp",
+    "or.jp",
+    "co.nz",
+    "net.nz",
+    "org.nz",
+    # Wildcard examples (each label under these is itself a suffix).
+    "*.ck",
+    "!www.ck",
+    "*.bd",
+)
+
+
+class PublicSuffixTable:
+    """Matching engine over a set of public-suffix rules.
+
+    Implements the standard PSL algorithm: among all rules matching a
+    domain, the exception rule wins if present (its suffix is the rule
+    minus the leftmost label); otherwise the longest rule wins; a bare
+    unlisted TLD falls back to the implicit ``*`` rule (the TLD itself is
+    the public suffix).
+    """
+
+    def __init__(self, rules: Iterable[str] = DEFAULT_SUFFIXES):
+        self._exact: Dict[str, int] = {}
+        self._wildcards: Dict[str, int] = {}
+        self._exceptions: Dict[str, int] = {}
+        for raw in rules:
+            rule = raw.strip().lower()
+            if not rule:
+                continue
+            if rule.startswith("!"):
+                body = rule[1:]
+                self._exceptions[body] = body.count(".") + 1
+            elif rule.startswith("*."):
+                body = rule[2:]
+                self._wildcards[body] = body.count(".") + 2
+            else:
+                self._exact[rule] = rule.count(".") + 1
+
+    def suffix_length(self, labels: List[str]) -> int:
+        """Return the number of labels in the public suffix of *labels*.
+
+        *labels* is the domain split on dots, e.g. ``["www", "ucsd",
+        "edu"]``.  Returns at least 1 (the implicit ``*`` rule).
+        """
+        if not labels:
+            raise ValueError("empty label list")
+        best = 1  # Implicit "*" rule: the TLD itself is a public suffix.
+        n = len(labels)
+        for start in range(n):
+            candidate = ".".join(labels[start:])
+            if candidate in self._exceptions:
+                # Exception rule: suffix is the rule minus its first label.
+                return self._exceptions[candidate] - 1
+            if candidate in self._exact:
+                best = max(best, self._exact[candidate])
+            if candidate in self._wildcards and start > 0:
+                # Wildcard covers exactly one extra label to the left.
+                best = max(best, self._wildcards[candidate])
+        return min(best, n)
+
+    def public_suffix(self, domain: str) -> str:
+        """Return the public suffix of *domain* (lowercased)."""
+        labels = domain.lower().rstrip(".").split(".")
+        k = self.suffix_length(labels)
+        return ".".join(labels[-k:])
+
+    def registered_domain(self, domain: str) -> Optional[str]:
+        """Return the registered domain of *domain*, or None.
+
+        None is returned when the name *is* a public suffix (there is no
+        registrant-controlled label).
+        """
+        labels = domain.lower().rstrip(".").split(".")
+        k = self.suffix_length(labels)
+        if len(labels) <= k:
+            return None
+        return ".".join(labels[-(k + 1):])
+
+    def is_public_suffix(self, domain: str) -> bool:
+        """True if *domain* is itself a public suffix."""
+        return self.registered_domain(domain) is None
+
+    def known_tlds(self) -> Tuple[str, ...]:
+        """Return the single-label suffixes in the table, sorted."""
+        return tuple(sorted(s for s in self._exact if "." not in s))
+
+
+_DEFAULT_TABLE: Optional[PublicSuffixTable] = None
+
+
+def default_suffix_table() -> PublicSuffixTable:
+    """Return the shared default :class:`PublicSuffixTable` instance."""
+    global _DEFAULT_TABLE
+    if _DEFAULT_TABLE is None:
+        _DEFAULT_TABLE = PublicSuffixTable(DEFAULT_SUFFIXES)
+    return _DEFAULT_TABLE

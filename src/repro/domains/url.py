@@ -1,0 +1,106 @@
+"""Minimal URL parsing down to the registered domain.
+
+Feeds differ in what they report (Section 2): some provide full
+spam-advertised URLs, others only fully-qualified domain names.  The
+comparison runs at the lowest common denominator -- registered domains --
+so all we need from a URL is its host.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Optional
+
+from repro.domains.parse import InvalidDomainError, registered_domain
+from repro.domains.psl import PublicSuffixTable
+
+
+class InvalidUrlError(ValueError):
+    """Raised when a string cannot be interpreted as an HTTP(S) URL."""
+
+
+_SCHEME_RE = re.compile(r"^([a-z][a-z0-9+.-]*)://", re.IGNORECASE)
+_IPV4_RE = re.compile(r"^\d{1,3}(\.\d{1,3}){3}$")
+
+
+@dataclasses.dataclass(frozen=True)
+class ParsedUrl:
+    """Decomposed URL: scheme, host, optional port, and path+query rest."""
+
+    scheme: str
+    host: str
+    port: Optional[int]
+    path: str
+
+    @property
+    def is_ip_literal(self) -> bool:
+        """True if the host is a (dotted-quad) IP address, not a name."""
+        return bool(_IPV4_RE.match(self.host))
+
+
+def parse_url(url: str) -> ParsedUrl:
+    """Parse an absolute HTTP(S) URL into its components.
+
+    Handles userinfo, ports, paths, queries and fragments; rejects
+    non-HTTP schemes and empty hosts.  Raises :class:`InvalidUrlError`.
+    """
+    if not isinstance(url, str):
+        raise InvalidUrlError(f"not a string: {url!r}")
+    text = url.strip()
+    match = _SCHEME_RE.match(text)
+    if not match:
+        raise InvalidUrlError(f"missing scheme: {url!r}")
+    scheme = match.group(1).lower()
+    if scheme not in ("http", "https"):
+        raise InvalidUrlError(f"unsupported scheme {scheme!r}")
+    rest = text[match.end():]
+    # Authority ends at the first '/', '?' or '#'.
+    end = len(rest)
+    for ch in "/?#":
+        idx = rest.find(ch)
+        if idx != -1:
+            end = min(end, idx)
+    authority = rest[:end]
+    path = rest[end:] or "/"
+    if "@" in authority:
+        authority = authority.rsplit("@", 1)[1]
+    port: Optional[int] = None
+    if ":" in authority:
+        host_part, port_part = authority.rsplit(":", 1)
+        if port_part:
+            if not port_part.isdigit():
+                raise InvalidUrlError(f"bad port in {url!r}")
+            port = int(port_part)
+            if not (0 < port < 65536):
+                raise InvalidUrlError(f"port out of range in {url!r}")
+        authority = host_part
+    host = authority.strip().rstrip(".").lower()
+    if not host:
+        raise InvalidUrlError(f"empty host in {url!r}")
+    return ParsedUrl(scheme=scheme, host=host, port=port, path=path)
+
+
+def domain_of_url(
+    url: str, table: Optional[PublicSuffixTable] = None
+) -> str:
+    """Return the registered domain advertised by *url*.
+
+    Raises :class:`InvalidUrlError` for malformed URLs or IP-literal
+    hosts, and :class:`InvalidDomainError` for hosts that are bare public
+    suffixes.
+    """
+    parsed = parse_url(url)
+    if parsed.is_ip_literal:
+        raise InvalidUrlError(f"IP-literal host in {url!r}")
+    return registered_domain(parsed.host, table)
+
+
+def try_domain_of_url(
+    url: str, table: Optional[PublicSuffixTable] = None
+) -> Optional[str]:
+    """Like :func:`domain_of_url` but returns None on any parse failure."""
+    try:
+        return domain_of_url(url, table)
+    except (InvalidUrlError, InvalidDomainError):
+        return None

@@ -1,0 +1,702 @@
+"""World construction: from an :class:`EcosystemConfig` to a :class:`World`.
+
+The builder materializes the ground truth that all ten feeds observe:
+affiliate programs and their affiliates (with revenue), botnets, the
+benign web, the domain registry, web hosting truth, and -- most
+importantly -- the campaign population whose structure drives every
+qualitative result in the paper:
+
+* a few dozen *loud* botnet broadcast campaigns dominate volume,
+* hundreds of direct broadcast campaigns fill the middle,
+* thousands of *quiet*, deliverability-engineered campaigns carry most
+  of the distinct domains (and the high-revenue affiliates), and
+* one Rustock-style DGA poisoning episode floods two feeds with
+  unregistered gibberish.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.domains import DgaNameGenerator, SpamNameGenerator
+from repro.ecosystem.benign import BenignWorld, build_benign_world
+from repro.ecosystem.config import CampaignClassConfig, EcosystemConfig
+from repro.ecosystem.entities import (
+    AddressStrategy,
+    Affiliate,
+    AffiliateProgram,
+    Botnet,
+    Campaign,
+    CampaignClass,
+    DomainPlacement,
+    GoodsCategory,
+)
+from repro.ecosystem.registry import Registry
+from repro.ecosystem.world import HostingRecord, World
+from repro.simtime import SimTime, Timeline, days
+from repro.stats.distributions import bounded_pareto, weighted_choice, zipf_weights
+from repro.stats.rng import SeedSequence
+
+_BOTNET_NAMES = (
+    "rustock", "cutwail", "grum", "mega-d", "lethic", "maazben",
+    "bobax", "waledac", "festi", "bagle", "kelihos", "darkmailer",
+)
+
+
+class WorldBuilder:
+    """Deterministic world generator.
+
+    Every stochastic decision draws from a labelled RNG stream derived
+    from the root seed, so adding draws to one stage never perturbs the
+    others.
+    """
+
+    def __init__(
+        self,
+        config: EcosystemConfig,
+        seed: int = 2012,
+        timeline: Optional[Timeline] = None,
+    ):
+        self.config = config
+        self.seed = seed
+        self.timeline = timeline or Timeline()
+        self._seeds = SeedSequence(seed)
+        #: One shared issued-name set keeps every spam-name generator
+        #: (storefronts, web spam, DGA) collision-free against the rest.
+        self._issued_names: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Stage 1: populations
+    # ------------------------------------------------------------------
+
+    def build_programs(self) -> Dict[int, AffiliateProgram]:
+        """Create the tagged affiliate programs (45 in the paper)."""
+        cfg = self.config.programs
+        rng = self._seeds.rng("programs")
+        categories: List[GoodsCategory] = (
+            [GoodsCategory.PHARMA] * cfg.n_pharma
+            + [GoodsCategory.REPLICA] * cfg.n_replica
+            + [GoodsCategory.SOFTWARE] * cfg.n_software
+        )
+        weights = zipf_weights(len(categories), cfg.popularity_exponent)
+        # Category order is deterministic; shuffle so weight rank is not
+        # perfectly aligned with category.
+        order = list(range(len(categories)))
+        rng.shuffle(order)
+        programs: Dict[int, AffiliateProgram] = {}
+        for pid, slot in enumerate(order):
+            category = categories[slot]
+            weight = weights[pid]
+            # Program 0 is the RX-Promotion analog: the dominant pharma
+            # program, and the only one embedding affiliate identifiers.
+            if pid == 0:
+                category = GoodsCategory.PHARMA
+                weight *= 3.0
+            programs[pid] = AffiliateProgram(
+                program_id=pid,
+                name=f"{category.value}-program-{pid:02d}",
+                category=category,
+                weight=weight,
+                embeds_affiliate_id=(pid == 0),
+            )
+        return programs
+
+    def build_affiliates(
+        self, programs: Dict[int, AffiliateProgram]
+    ) -> Dict[int, Affiliate]:
+        """Create affiliates with heavy-tailed annual revenue."""
+        cfg = self.config.programs
+        rng = self._seeds.rng("affiliates")
+        affiliates: Dict[int, Affiliate] = {}
+        next_id = 0
+        for pid in sorted(programs):
+            if programs[pid].embeds_affiliate_id:
+                n = cfg.rx_affiliates
+            else:
+                n = rng.randint(cfg.affiliates_low, cfg.affiliates_high)
+            for _ in range(n):
+                revenue = bounded_pareto(
+                    rng, cfg.revenue_alpha, cfg.revenue_low, cfg.revenue_high
+                )
+                affiliates[next_id] = Affiliate(
+                    affiliate_id=next_id,
+                    program_id=pid,
+                    annual_revenue=revenue,
+                )
+                next_id += 1
+        return affiliates
+
+    def build_botnets(self) -> Dict[int, Botnet]:
+        """Create the botnet population; the first ones are monitored."""
+        cfg = self.config.botnets
+        rng = self._seeds.rng("botnets")
+        if cfg.n_monitored > cfg.n_botnets:
+            raise ValueError("cannot monitor more botnets than exist")
+        botnets: Dict[int, Botnet] = {}
+        for bid in range(cfg.n_botnets):
+            name = _BOTNET_NAMES[bid % len(_BOTNET_NAMES)]
+            botnets[bid] = Botnet(
+                botnet_id=bid,
+                name=name,
+                capacity=rng.uniform(cfg.capacity_low, cfg.capacity_high),
+                monitored=(bid < cfg.n_monitored),
+            )
+        return botnets
+
+    # ------------------------------------------------------------------
+    # Stage 2: campaigns
+    # ------------------------------------------------------------------
+
+    def _pick_program(
+        self,
+        rng: random.Random,
+        programs: Dict[int, AffiliateProgram],
+    ) -> AffiliateProgram:
+        pids = sorted(programs)
+        weights = [programs[p].weight for p in pids]
+        return programs[weighted_choice(rng, pids, weights)]
+
+    def _affiliates_by_program(
+        self, affiliates: Dict[int, Affiliate]
+    ) -> Dict[int, List[Affiliate]]:
+        index: Dict[int, List[Affiliate]] = {}
+        for a in affiliates.values():
+            index.setdefault(a.program_id, []).append(a)
+        for members in index.values():
+            members.sort(key=lambda a: a.affiliate_id)
+        return index
+
+    def _pick_affiliate(
+        self,
+        rng: random.Random,
+        members: Sequence[Affiliate],
+        prefer_high_revenue: bool,
+    ) -> Affiliate:
+        """Sample an affiliate, biased by revenue rank.
+
+        Quiet, deliverability-focused campaigns come from the skilled,
+        high-revenue affiliates; botnet broadcast runs from the long
+        tail.  This correlation is what makes the revenue-weighted
+        coverage (Figure 6) favor the Hu/dbl feeds.
+        """
+        ranked = sorted(
+            members,
+            key=lambda a: a.annual_revenue,
+            reverse=prefer_high_revenue,
+        )
+        exponent = 0.9 if prefer_high_revenue else 0.7
+        weights = zipf_weights(len(ranked), exponent)
+        return weighted_choice(rng, ranked, weights)
+
+    def _sample_interval(
+        self, rng: random.Random, duration_low_days: float, duration_high_days: float
+    ) -> Tuple[SimTime, SimTime]:
+        """Sample a campaign interval inside the measurement window."""
+        tl = self.timeline
+        duration = days(rng.uniform(duration_low_days, duration_high_days))
+        duration = max(duration, 30)  # at least half an hour
+        latest_start = max(tl.start, tl.end - duration)
+        start = rng.randrange(tl.start, latest_start + 1)
+        end = min(start + duration, tl.end)
+        return start, end
+
+    def _build_placements(
+        self,
+        rng: random.Random,
+        namer: SpamNameGenerator,
+        start: SimTime,
+        end: SimTime,
+        n_domains: int,
+        total_volume: float,
+        broadcast_lag_low_days: float = 0.0,
+        broadcast_lag_high_days: float = 0.0,
+    ) -> List[DomainPlacement]:
+        """Rotate *n_domains* fresh names across [start, end).
+
+        Segments overlap slightly (old domain winds down while the next
+        spins up), volumes are proportional to segment length.
+        """
+        span = end - start
+        n_domains = max(1, min(n_domains, max(1, span // 30)))
+        edges = sorted(rng.uniform(0, 1) for _ in range(n_domains - 1))
+        bounds = [0.0] + edges + [1.0]
+        placements: List[DomainPlacement] = []
+        for i in range(n_domains):
+            seg_start = start + int(bounds[i] * span)
+            seg_end = start + int(bounds[i + 1] * span)
+            # Slight overlap with the following segment.
+            overlap = int((seg_end - seg_start) * 0.15)
+            seg_end = min(end, seg_end + overlap)
+            if seg_end - seg_start < 30:
+                seg_end = min(end, seg_start + 30)
+            if seg_end <= seg_start:
+                continue
+            share = (seg_end - seg_start) / span
+            volume = max(1.0, total_volume * share)
+            lag = days(
+                rng.uniform(broadcast_lag_low_days, broadcast_lag_high_days)
+            )
+            # The blast must still cover most of the placement, or the
+            # domain would never monetize; cap the warm-up phase.
+            lag = min(lag, int(0.7 * (seg_end - seg_start)))
+            placements.append(
+                DomainPlacement(
+                    domain=namer.generate(),
+                    start=seg_start,
+                    end=seg_end,
+                    volume=volume,
+                    broadcast_lag=lag,
+                )
+            )
+        if not placements:
+            placements.append(
+                DomainPlacement(
+                    domain=namer.generate(),
+                    start=start,
+                    end=max(end, start + 30),
+                    volume=max(1.0, total_volume),
+                )
+            )
+        return placements
+
+    def _apply_redirector(
+        self,
+        rng: random.Random,
+        benign: BenignWorld,
+        campaign: Campaign,
+        redirector_tags: Dict[str, Tuple[int, Optional[int]]],
+    ) -> None:
+        """Divert part of a campaign's volume through a redirector domain.
+
+        The diverted messages advertise the *redirector's* registered
+        domain (that is the whole point: hiding behind an established
+        name), so feeds and the mail oracle see the benign domain.  If
+        the campaign is tagged, a crawl of the redirector follows the
+        redirect to the storefront -- the redirector domain becomes
+        *tagged* despite being Alexa-listed (Section 4.1.4, Figure 3).
+        """
+        r = campaign.redirector_probability
+        if r <= 0 or not benign.redirectors:
+            return
+        redirector = benign.sample_redirector(rng)
+        extra: List[DomainPlacement] = []
+        reduced: List[DomainPlacement] = []
+        for placement in campaign.placements:
+            diverted = placement.volume * r
+            kept = placement.volume - diverted
+            if diverted >= 1.0 and kept >= 1.0:
+                extra.append(
+                    dataclasses.replace(
+                        placement, domain=redirector, volume=diverted
+                    )
+                )
+                reduced.append(
+                    dataclasses.replace(placement, volume=kept)
+                )
+            else:
+                reduced.append(placement)
+        if extra:
+            campaign.placements = reduced + extra
+            if campaign.program_id is not None:
+                redirector_tags.setdefault(
+                    redirector, (campaign.program_id, campaign.affiliate_id)
+                )
+
+    def build_campaigns(
+        self,
+        programs: Dict[int, AffiliateProgram],
+        affiliates: Dict[int, Affiliate],
+        botnets: Dict[int, Botnet],
+        benign: BenignWorld,
+        registry: Registry,
+        hosting: Dict[str, HostingRecord],
+        redirector_tags: Dict[str, Tuple[int, Optional[int]]],
+    ) -> List[Campaign]:
+        """Generate the full campaign population (all classes but DGA)."""
+        cfg = self.config
+        campaigns: List[Campaign] = []
+        members_by_program = self._affiliates_by_program(affiliates)
+
+        # Each botnet operator spams for a small fixed set of
+        # (program, affiliate) identities -- the reason the Bot feed
+        # covers so few programs and RX affiliates (Figures 4 and 5).
+        botnet_identities: Dict[int, List[Tuple[int, int]]] = {}
+        rng_bn = self._seeds.rng("botnet-identities")
+        bcfg = cfg.botnets
+        for bid in sorted(botnets):
+            n_programs = rng_bn.randint(
+                bcfg.programs_per_botnet_low, bcfg.programs_per_botnet_high
+            )
+            identities: List[Tuple[int, int]] = []
+            for _ in range(n_programs):
+                program = self._pick_program(rng_bn, programs)
+                member = self._pick_affiliate(
+                    rng_bn, members_by_program[program.program_id],
+                    prefer_high_revenue=False,
+                )
+                identities.append((program.program_id, member.affiliate_id))
+            botnet_identities[bid] = identities
+
+        namers: Dict[GoodsCategory, SpamNameGenerator] = {}
+        rng_names = self._seeds.rng("campaign-domains")
+        for category in GoodsCategory:
+            namers[category] = SpamNameGenerator(
+                rng_names, category.value, issued=self._issued_names
+            )
+        other_namer = SpamNameGenerator(
+            rng_names, "pharma", issued=self._issued_names
+        )
+
+        campaign_id = 0
+        for cls in (
+            CampaignClass.BOTNET_BROADCAST,
+            CampaignClass.DIRECT_BROADCAST,
+            CampaignClass.QUIET_TARGETED,
+            CampaignClass.OTHER_GOODS,
+        ):
+            class_cfg = cfg.campaign_classes.get(cls)
+            if class_cfg is None:
+                continue
+            rng = self._seeds.rng(f"campaigns.{cls.value}")
+            for _ in range(class_cfg.count):
+                campaign = self._build_one_campaign(
+                    rng,
+                    campaign_id,
+                    cls,
+                    class_cfg,
+                    programs,
+                    members_by_program,
+                    botnets,
+                    botnet_identities,
+                    namers,
+                    other_namer,
+                )
+                self._apply_redirector(rng, benign, campaign, redirector_tags)
+                self._register_and_host(
+                    rng, campaign, registry, hosting, benign,
+                    dead_site_probability=class_cfg.dead_site_probability,
+                )
+                campaigns.append(campaign)
+                campaign_id += 1
+        return campaigns
+
+    def _build_one_campaign(
+        self,
+        rng: random.Random,
+        campaign_id: int,
+        cls: CampaignClass,
+        class_cfg: CampaignClassConfig,
+        programs: Dict[int, AffiliateProgram],
+        members_by_program: Dict[int, List[Affiliate]],
+        botnets: Dict[int, Botnet],
+        botnet_identities: Dict[int, List[Tuple[int, int]]],
+        namers: Dict[GoodsCategory, SpamNameGenerator],
+        other_namer: SpamNameGenerator,
+    ) -> Campaign:
+        volume = bounded_pareto(
+            rng, class_cfg.volume_alpha, class_cfg.volume_low, class_cfg.volume_high
+        )
+        duration_low = class_cfg.duration_low_days
+        duration_high = class_cfg.duration_high_days
+        if cls in (
+            CampaignClass.BOTNET_BROADCAST, CampaignClass.DIRECT_BROADCAST
+        ):
+            # The loudest campaigns are sustained operations: their
+            # domains churn for weeks, which is why a 5-day incoming
+            # mail sample still sees most of the head of the volume
+            # distribution (Section 4.3).
+            span = math.log(class_cfg.volume_high / class_cfg.volume_low)
+            vfrac = math.log(volume / class_cfg.volume_low) / span if span else 1.0
+            floor = duration_low + vfrac * (duration_high - duration_low)
+            duration_low = min(duration_high, max(duration_low, floor * 0.8))
+        start, end = self._sample_interval(rng, duration_low, duration_high)
+        n_domains = rng.randint(class_cfg.domains_low, class_cfg.domains_high)
+
+        botnet_id: Optional[int] = None
+        program_id: Optional[int] = None
+        affiliate_id: Optional[int] = None
+        tagged = rng.random() < class_cfg.tagged_fraction
+
+        if cls is CampaignClass.BOTNET_BROADCAST:
+            botnet_id = weighted_choice(
+                rng,
+                sorted(botnets),
+                [botnets[b].capacity for b in sorted(botnets)],
+            )
+            volume *= botnets[botnet_id].capacity
+            if tagged:
+                program_id, affiliate_id = rng.choice(
+                    botnet_identities[botnet_id]
+                )
+        elif tagged:
+            program = self._pick_program(rng, programs)
+            program_id = program.program_id
+            member = self._pick_affiliate(
+                rng,
+                members_by_program[program_id],
+                prefer_high_revenue=(cls is CampaignClass.QUIET_TARGETED),
+            )
+            affiliate_id = member.affiliate_id
+
+        if program_id is not None:
+            category = programs[program_id].category
+            namer = namers[category]
+        else:
+            namer = other_namer
+
+        placements = self._build_placements(
+            rng, namer, start, end, n_domains, volume,
+            broadcast_lag_low_days=class_cfg.broadcast_lag_low_days,
+            broadcast_lag_high_days=class_cfg.broadcast_lag_high_days,
+        )
+        strategy = weighted_choice(
+            rng,
+            [s for s, _ in class_cfg.strategies],
+            [w for _, w in class_cfg.strategies],
+        )
+        return Campaign(
+            campaign_id=campaign_id,
+            campaign_class=cls,
+            strategy=strategy,
+            placements=placements,
+            affiliate_id=affiliate_id,
+            program_id=program_id,
+            botnet_id=botnet_id,
+            chaff_probability=class_cfg.chaff_probability,
+            redirector_probability=class_cfg.redirector_probability,
+            filter_evasion=rng.uniform(
+                class_cfg.filter_evasion_low, class_cfg.filter_evasion_high
+            ),
+        )
+
+    def _register_and_host(
+        self,
+        rng: random.Random,
+        campaign: Campaign,
+        registry: Registry,
+        hosting: Dict[str, HostingRecord],
+        benign: BenignWorld,
+        dead_site_probability: Optional[float] = None,
+    ) -> None:
+        """Register the campaign's storefront domains and provision hosting."""
+        cfg = self.config
+        if dead_site_probability is None:
+            dead_site_probability = cfg.dead_site_probability
+        benign_set = benign.alexa_set | benign.odp_domains
+        for domain in campaign.domains:
+            if domain in benign_set:
+                continue  # redirector placements: already-existing domains
+            first, last = campaign.domain_interval(domain)
+            lead = days(
+                rng.uniform(
+                    cfg.registration_lead_low_days, cfg.registration_lead_high_days
+                )
+            )
+            registered_at = first - lead
+            registry.register(domain, registered_at)
+            if domain in hosting:
+                continue
+            dead = rng.random() < dead_site_probability
+            linger = days(
+                rng.uniform(
+                    cfg.hosting_linger_low_days, cfg.hosting_linger_high_days
+                )
+            )
+            hosting[domain] = HostingRecord(
+                domain=domain,
+                live_from=registered_at,
+                live_until=last + linger,
+                program_id=campaign.program_id,
+                affiliate_id=campaign.affiliate_id,
+                dead=dead,
+            )
+
+    # ------------------------------------------------------------------
+    # Stage 3: the DGA poisoning episode
+    # ------------------------------------------------------------------
+
+    def build_dga_campaign(
+        self, botnets: Dict[int, Botnet], campaign_id: int
+    ) -> Tuple[Optional[Campaign], Set[str]]:
+        """The Rustock random pseudo-domain episode (Section 4.1.1)."""
+        dga_cfg = self.config.dga
+        if dga_cfg.n_domains <= 0:
+            return None, set()
+        rng = self._seeds.rng("dga")
+        botnet_id = None
+        for bid, botnet in sorted(botnets.items()):
+            if botnet.name == dga_cfg.botnet_name:
+                botnet_id = bid
+                break
+        if botnet_id is None:
+            botnet_id = min(botnets) if botnets else 0
+        generator = DgaNameGenerator(rng, issued=self._issued_names)
+        start = days(dga_cfg.start_day)
+        end = min(start + days(dga_cfg.duration_days), self.timeline.end)
+        span = end - start
+        per_domain = dga_cfg.volume / dga_cfg.n_domains
+        placements: List[DomainPlacement] = []
+        for _ in range(dga_cfg.n_domains):
+            # Each bogus name is blasted for a brief burst.
+            burst_start = start + rng.randrange(max(1, span - 120))
+            burst_end = min(end, burst_start + rng.randint(30, 360))
+            placements.append(
+                DomainPlacement(
+                    domain=generator.generate(),
+                    start=burst_start,
+                    end=max(burst_end, burst_start + 30),
+                    volume=max(1.0, per_domain),
+                )
+            )
+        campaign = Campaign(
+            campaign_id=campaign_id,
+            campaign_class=CampaignClass.DGA_POISON,
+            strategy=AddressStrategy.BRUTE_FORCE,
+            placements=placements,
+            botnet_id=botnet_id,
+            filter_evasion=0.0,
+        )
+        return campaign, {p.domain for p in placements}
+
+    def register_dga_collisions(
+        self,
+        dga_domains: Set[str],
+        registry: Registry,
+        hosting: Dict[str, HostingRecord],
+    ) -> None:
+        """A sliver of random names collide with real parked domains.
+
+        These resolve and serve placeholder pages, which is the likely
+        source of the Bot feed's few thousand exclusive "live" domains
+        in the paper (Section 4.2.1).
+        """
+        fraction = self.config.dga.registered_fraction
+        if fraction <= 0:
+            return
+        rng = self._seeds.rng("dga-collisions")
+        for domain in sorted(dga_domains):
+            if rng.random() >= fraction:
+                continue
+            registered_at = -days(rng.uniform(100, 2000))
+            registry.register(domain, registered_at)
+            hosting[domain] = HostingRecord(
+                domain=domain,
+                live_from=registered_at,
+                live_until=self.timeline.end + days(365),
+                program_id=None,
+                affiliate_id=None,
+                dead=False,
+            )
+
+    # ------------------------------------------------------------------
+    # Stage 4: side pools
+    # ------------------------------------------------------------------
+
+    def build_hyb_webspam(
+        self, registry: Registry, hosting: Dict[str, HostingRecord]
+    ) -> List[str]:
+        """Scraped web-spam domains only the hybrid feed's sources find."""
+        cfg = self.config
+        rng = self._seeds.rng("hyb-webspam")
+        namer = SpamNameGenerator(rng, "software", issued=self._issued_names)
+        pool: List[str] = []
+        for _ in range(cfg.hyb_webspam_pool):
+            domain = namer.generate()
+            pool.append(domain)
+            if rng.random() < cfg.hyb_webspam_live_fraction:
+                registered_at = -days(rng.uniform(0, 200))
+                registry.register(domain, registered_at)
+                hosting[domain] = HostingRecord(
+                    domain=domain,
+                    live_from=registered_at,
+                    live_until=self.timeline.end + days(rng.uniform(0, 60)),
+                    program_id=None,
+                    affiliate_id=None,
+                    dead=rng.random() < 0.25,
+                )
+        return pool
+
+    def build_junk_domains(self) -> List[str]:
+        """Never-registered junk names that show up in user reports."""
+        rng = self._seeds.rng("junk-reports")
+        generator = DgaNameGenerator(
+            rng, min_len=6, max_len=12, issued=self._issued_names
+        )
+        return generator.generate_batch(self.config.junk_report_pool)
+
+    def register_benign(self, benign: BenignWorld, registry: Registry) -> None:
+        """Benign domains are long-registered and stay registered."""
+        rng = self._seeds.rng("benign-registration")
+        for domain in benign.all_benign:
+            registry.register(domain, -days(rng.uniform(200, 3000)))
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def build(self) -> World:
+        """Run all stages and return the assembled world."""
+        cfg = self.config
+        programs = self.build_programs()
+        affiliates = self.build_affiliates(programs)
+        botnets = self.build_botnets()
+
+        rng_benign = self._seeds.rng("benign-world")
+        benign = build_benign_world(
+            rng_benign,
+            alexa_size=cfg.benign.alexa_size,
+            odp_size=cfg.benign.odp_size,
+            odp_alexa_overlap=cfg.benign.odp_alexa_overlap,
+            n_redirectors=cfg.benign.n_redirectors,
+            chaff_pool_size=cfg.benign.chaff_pool_size,
+            n_newsletter_domains=cfg.benign.n_newsletter_domains,
+        )
+
+        registry = Registry()
+        hosting: Dict[str, HostingRecord] = {}
+        redirector_tags: Dict[str, Tuple[int, Optional[int]]] = {}
+
+        self.register_benign(benign, registry)
+        campaigns = self.build_campaigns(
+            programs, affiliates, botnets, benign, registry, hosting,
+            redirector_tags,
+        )
+        dga_campaign, dga_domains = self.build_dga_campaign(
+            botnets, campaign_id=len(campaigns)
+        )
+        if dga_campaign is not None:
+            campaigns.append(dga_campaign)
+            self.register_dga_collisions(dga_domains, registry, hosting)
+
+        hyb_webspam = self.build_hyb_webspam(registry, hosting)
+        junk = self.build_junk_domains()
+
+        return World(
+            timeline=self.timeline,
+            programs=programs,
+            affiliates=affiliates,
+            botnets=botnets,
+            campaigns=campaigns,
+            registry=registry,
+            benign=benign,
+            hosting=hosting,
+            dga_domains=dga_domains,
+            dga_campaign=dga_campaign,
+            redirector_tags=redirector_tags,
+            hyb_webspam=hyb_webspam,
+            junk_domains=junk,
+        )
+
+
+def build_world(
+    config: Optional[EcosystemConfig] = None,
+    seed: int = 2012,
+    timeline: Optional[Timeline] = None,
+) -> World:
+    """Convenience wrapper: build a world from *config* (default: paper)."""
+    from repro.ecosystem.config import paper_config
+
+    return WorldBuilder(config or paper_config(), seed, timeline).build()

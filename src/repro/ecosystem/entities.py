@@ -1,0 +1,248 @@
+"""Entities of the spam ecosystem.
+
+The object model follows Section 2 and Section 4.2.4 of the paper:
+spammers operate as *affiliates* of *affiliate programs* (pharmacy,
+replica, software), run *campaigns* that advertise rotating registered
+domains, and deliver mail either through *botnets* or direct senders,
+using address lists of varying quality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.simtime import SimTime
+
+
+class GoodsCategory(enum.Enum):
+    """Goods categories the Click Trajectories tagging covers."""
+
+    PHARMA = "pharma"
+    REPLICA = "replica"
+    SOFTWARE = "software"
+
+
+class AddressStrategy(enum.Enum):
+    """How a campaign's address list was obtained (Section 2).
+
+    The strategy determines which collection apparatus can see the
+    campaign at all:
+
+    * ``BRUTE_FORCE`` -- generated addresses sprayed at every domain with
+      a valid MX; reaches MX honeypots, honey accounts and real users.
+    * ``HARVESTED`` -- scraped from forums/web sites/mailing lists;
+      reaches seeded honey accounts and real users, but not quiescent MX
+      honeypot domains.
+    * ``PURCHASED`` -- high-quality purchased lists of real users only.
+    * ``SOCIAL`` -- mined from compromised accounts' contact lists; real
+      users only, invisible to all honeypot apparatus.
+    """
+
+    BRUTE_FORCE = "brute_force"
+    HARVESTED = "harvested"
+    PURCHASED = "purchased"
+    SOCIAL = "social"
+
+
+class CampaignClass(enum.Enum):
+    """Structural campaign archetypes used by the world builder."""
+
+    #: Loud, high-volume broadcast runs delivered by botnets.
+    BOTNET_BROADCAST = "botnet_broadcast"
+    #: Loud campaigns from direct senders / rented infrastructure.
+    DIRECT_BROADCAST = "direct_broadcast"
+    #: Quiet, deliverability-focused campaigns on quality lists.
+    QUIET_TARGETED = "quiet_targeted"
+    #: Campaigns for goods outside the tagged categories (dating,
+    #: gambling, ebooks, ...) -- live but never tagged.
+    OTHER_GOODS = "other_goods"
+    #: Rustock-style domain-poisoning episode (random unregistered names).
+    DGA_POISON = "dga_poison"
+
+
+@dataclasses.dataclass(frozen=True)
+class AffiliateProgram:
+    """A spam affiliate program (e.g. an online pharmacy brand)."""
+
+    program_id: int
+    name: str
+    category: GoodsCategory
+    #: Relative popularity weight among spammers (heavy-tailed).
+    weight: float
+    #: Whether storefronts of this program carry an extractable affiliate
+    #: identifier in the page source (true only for RX-Promotion).
+    embeds_affiliate_id: bool = False
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("program weight must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class Affiliate:
+    """An affiliate (spammer) working for one program."""
+
+    affiliate_id: int
+    program_id: int
+    #: Annual revenue in USD generated for the program (ground truth for
+    #: the revenue-weighted coverage analysis, Figure 6).
+    annual_revenue: float
+
+    def __post_init__(self) -> None:
+        if self.annual_revenue < 0:
+            raise ValueError("revenue must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class Botnet:
+    """A spamming botnet.
+
+    ``monitored`` marks botnets whose bots the research apparatus runs in
+    a controlled environment -- only their output enters the ``Bot``
+    feed.
+    """
+
+    botnet_id: int
+    name: str
+    #: Relative sending capacity (messages per campaign scale factor).
+    capacity: float
+    monitored: bool
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("botnet capacity must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class DomainPlacement:
+    """One advertised domain's active period within a campaign.
+
+    Campaigns rotate through domains as blacklisting burns them; each
+    placement is the interval during which the campaign's messages
+    advertise this particular domain.
+    """
+
+    domain: str
+    start: SimTime
+    end: SimTime
+    #: Messages advertising this domain over the placement (ground-truth
+    #: emitted volume, before any feed's capture model).
+    volume: float
+    #: How long after ``start`` the *broad* (brute-force/harvest) blast
+    #: begins.  Spammers warm a fresh domain up through targeted
+    #: channels first; honeypot apparatus only sees the domain once the
+    #: blast starts, which is why honeypot feeds lag Hu and the
+    #: blacklists by days in Figure 9.
+    broadcast_lag: SimTime = 0
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty placement for {self.domain!r}")
+        if self.volume <= 0:
+            raise ValueError(f"non-positive volume for {self.domain!r}")
+        if self.broadcast_lag < 0:
+            raise ValueError(f"negative broadcast lag for {self.domain!r}")
+
+    @property
+    def duration(self) -> SimTime:
+        """Placement length in minutes."""
+        return self.end - self.start
+
+    @property
+    def rate(self) -> float:
+        """Emission rate in messages per minute."""
+        return self.volume / self.duration
+
+    @property
+    def broadcast_start(self) -> SimTime:
+        """When the broad blast begins (clamped inside the placement)."""
+        return min(self.start + self.broadcast_lag, self.end - 1)
+
+
+@dataclasses.dataclass
+class Campaign:
+    """A spam campaign: one affiliate advertising a set of domains.
+
+    This is the simulator's unit of emission.  Feeds never see campaigns
+    directly; they see (domain, time) sightings whose rates derive from
+    the campaign's placements and the feed's exposure to the campaign's
+    address strategy.
+    """
+
+    campaign_id: int
+    campaign_class: CampaignClass
+    strategy: AddressStrategy
+    placements: List[DomainPlacement]
+    #: Affiliate behind the campaign; None for untaggable campaigns
+    #: (other goods, DGA poison).
+    affiliate_id: Optional[int] = None
+    program_id: Optional[int] = None
+    #: Delivering botnet; None means direct sending.
+    botnet_id: Optional[int] = None
+    #: Probability that a message includes chaff URLs (benign domains
+    #: inserted to undermine filters, image hosting, DTD references).
+    chaff_probability: float = 0.0
+    #: Probability that the advertised URL hides behind a redirector
+    #: service (URL shortener / free hosting) instead of the storefront
+    #: domain itself.
+    redirector_probability: float = 0.0
+    #: How well the campaign evades content filters, in [0, 1].  Quiet
+    #: campaigns are engineered for deliverability; loud broadcast runs
+    #: are mostly filtered before any human sees them.
+    filter_evasion: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not self.placements:
+            raise ValueError("campaign must have at least one placement")
+        if not (0.0 <= self.chaff_probability <= 1.0):
+            raise ValueError("chaff_probability out of range")
+        if not (0.0 <= self.redirector_probability <= 1.0):
+            raise ValueError("redirector_probability out of range")
+        if not (0.0 <= self.filter_evasion <= 1.0):
+            raise ValueError("filter_evasion out of range")
+
+    @property
+    def start(self) -> SimTime:
+        """Campaign start: earliest placement start."""
+        return min(p.start for p in self.placements)
+
+    @property
+    def end(self) -> SimTime:
+        """Campaign end: latest placement end."""
+        return max(p.end for p in self.placements)
+
+    @property
+    def total_volume(self) -> float:
+        """Ground-truth emitted message volume across all placements."""
+        return sum(p.volume for p in self.placements)
+
+    @property
+    def domains(self) -> List[str]:
+        """Distinct advertised domains, in first-placement order."""
+        seen: Dict[str, None] = {}
+        for p in self.placements:
+            seen.setdefault(p.domain, None)
+        return list(seen)
+
+    def placements_for(self, domain: str) -> List[DomainPlacement]:
+        """All placements advertising *domain*."""
+        return [p for p in self.placements if p.domain == domain]
+
+    def domain_interval(self, domain: str) -> Tuple[SimTime, SimTime]:
+        """Ground-truth (first, last) advertising interval of *domain*."""
+        spans = self.placements_for(domain)
+        if not spans:
+            raise KeyError(f"{domain!r} not advertised by this campaign")
+        return min(p.start for p in spans), max(p.end for p in spans)
+
+    @property
+    def is_tagged_class(self) -> bool:
+        """True if the campaign belongs to a taggable goods category."""
+        return self.program_id is not None
+
+
+def total_emitted_volume(campaigns: Sequence[Campaign]) -> float:
+    """Sum of ground-truth emitted volume over *campaigns*."""
+    return sum(c.total_volume for c in campaigns)

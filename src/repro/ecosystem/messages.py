@@ -1,0 +1,145 @@
+"""Message-level rendering of campaign emissions.
+
+The simulator works at (domain, time) granularity for scale, but some
+feed providers ship *full URLs* or entire messages (Section 2).  This
+module renders campaign emissions down to message level -- URLs with
+subdomains, paths and query strings, plus chaff URLs -- so the URL
+normalization path is exercised end-to-end and URL-style feed files can
+be produced for the ingestion tooling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.ecosystem.entities import Campaign, DomainPlacement
+from repro.ecosystem.world import World
+from repro.feeds.base import FeedRecord
+from repro.simtime import SimTime
+
+_SUBDOMAIN_WORDS = ("www", "shop", "secure", "buy", "order", "best", "go")
+_PATH_WORDS = ("index", "buy", "order", "item", "meds", "promo", "track")
+
+
+@dataclasses.dataclass(frozen=True)
+class SpamMessage:
+    """One rendered spam message."""
+
+    campaign_id: int
+    time: SimTime
+    urls: List[str]
+
+    @property
+    def primary_url(self) -> str:
+        """The advertised (first) URL."""
+        return self.urls[0]
+
+
+def render_url(
+    rng: random.Random,
+    domain: str,
+    affiliate_id: Optional[int] = None,
+) -> str:
+    """Render a plausible spam-advertised URL for *domain*.
+
+    Affiliate programs credit sales through the URL, so when an
+    affiliate id is supplied it is embedded as a query parameter (one
+    of the paper's observed crediting mechanisms).
+    """
+    host = domain
+    if rng.random() < 0.6:
+        host = f"{rng.choice(_SUBDOMAIN_WORDS)}.{domain}"
+    path = f"/{rng.choice(_PATH_WORDS)}"
+    if rng.random() < 0.4:
+        path += f"/{rng.randrange(1, 10_000)}"
+    query = ""
+    if affiliate_id is not None:
+        query = f"?aff={affiliate_id}"
+    elif rng.random() < 0.25:
+        query = f"?id={rng.randrange(1, 100_000)}"
+    return f"http://{host}{path}{query}"
+
+
+def render_message(
+    rng: random.Random,
+    world: World,
+    campaign: Campaign,
+    placement: DomainPlacement,
+    time: SimTime,
+) -> SpamMessage:
+    """Render one message for *placement* at *time*."""
+    urls = [
+        render_url(rng, placement.domain, campaign.affiliate_id)
+    ]
+    if (
+        campaign.chaff_probability > 0
+        and world.benign.chaff_pool
+        and rng.random() < campaign.chaff_probability
+    ):
+        urls.append(render_url(rng, world.benign.sample_chaff(rng)))
+    return SpamMessage(campaign.campaign_id, time, urls)
+
+
+def sample_messages(
+    world: World,
+    campaign: Campaign,
+    n: int,
+    rng: random.Random,
+) -> List[SpamMessage]:
+    """Sample *n* messages from *campaign*, volume-proportionally.
+
+    Message times are uniform over each placement's active interval;
+    placements are chosen proportionally to their emitted volume.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    placements = campaign.placements
+    total = sum(p.volume for p in placements)
+    messages: List[SpamMessage] = []
+    for _ in range(n):
+        x = rng.random() * total
+        acc = 0.0
+        chosen = placements[-1]
+        for placement in placements:
+            acc += placement.volume
+            if x <= acc:
+                chosen = placement
+                break
+        time = chosen.start + int(rng.random() * chosen.duration)
+        messages.append(render_message(rng, world, campaign, chosen, time))
+    messages.sort(key=lambda m: m.time)
+    return messages
+
+
+def iter_world_messages(
+    world: World,
+    per_campaign: int,
+    seed: int = 0,
+    campaigns: Optional[Sequence[Campaign]] = None,
+) -> Iterator[SpamMessage]:
+    """Yield a message sample across the world's campaigns."""
+    rng = random.Random(seed)
+    for campaign in campaigns if campaigns is not None else world.campaigns:
+        yield from sample_messages(world, campaign, per_campaign, rng)
+
+
+def messages_to_records(
+    messages: Iterable["SpamMessage"],
+) -> List[FeedRecord]:
+    """Normalize rendered messages back to (domain, time) records.
+
+    Every URL in every message yields one record; unparseable URLs are
+    dropped (they would be a provider bug here, but the ingestion path
+    stays lenient).
+    """
+    from repro.domains.url import try_domain_of_url
+
+    records: List[FeedRecord] = []
+    for message in messages:
+        for url in message.urls:
+            domain = try_domain_of_url(url)
+            if domain is not None:
+                records.append(FeedRecord(domain, message.time))
+    return records

@@ -1,0 +1,93 @@
+"""The simulated domain registry (ground truth behind the DNS oracle).
+
+The paper checks feed domains against zone files for seven TLDs
+(com, net, org, biz, us, aero, info) over a window bracketing the
+measurement period by 16 months on each side (Section 4.1.1).  This
+module holds the ground-truth registration intervals that the
+:class:`repro.oracles.dns_zone.ZoneOracle` snapshots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Optional
+
+from repro.simtime import SimTime, days
+
+#: The TLDs whose zone files the measurement apparatus can obtain.
+COVERED_TLDS = frozenset({"com", "net", "org", "biz", "us", "aero", "info"})
+
+#: Zone files bracket the window by 16 months before and after.
+ZONE_BRACKET_MINUTES = days(16 * 30)
+
+
+@dataclasses.dataclass(frozen=True)
+class RegistryEntry:
+    """Registration lifetime of one registered domain."""
+
+    domain: str
+    registered_at: SimTime
+    #: None means still registered at the end of the zone bracket.
+    dropped_at: Optional[SimTime] = None
+
+    def __post_init__(self) -> None:
+        if self.dropped_at is not None and self.dropped_at <= self.registered_at:
+            raise ValueError(f"drop precedes registration for {self.domain!r}")
+
+    def active_during(self, start: SimTime, end: SimTime) -> bool:
+        """True if the registration overlaps the interval [start, end)."""
+        if self.registered_at >= end:
+            return False
+        return self.dropped_at is None or self.dropped_at > start
+
+
+def tld_of(domain: str) -> str:
+    """Return the final label of *domain* (its TLD)."""
+    return domain.rsplit(".", 1)[-1]
+
+
+class Registry:
+    """All ground-truth domain registrations in the simulated world."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, RegistryEntry] = {}
+
+    def register(
+        self,
+        domain: str,
+        registered_at: SimTime,
+        dropped_at: Optional[SimTime] = None,
+    ) -> RegistryEntry:
+        """Record a registration; re-registering keeps the earliest date.
+
+        Spam campaigns occasionally reuse domains; the registry keeps the
+        widest lifetime seen.
+        """
+        existing = self._entries.get(domain)
+        if existing is not None:
+            registered_at = min(registered_at, existing.registered_at)
+            if existing.dropped_at is None or dropped_at is None:
+                dropped_at = None
+            else:
+                dropped_at = max(dropped_at, existing.dropped_at)
+        entry = RegistryEntry(domain, registered_at, dropped_at)
+        self._entries[domain] = entry
+        return entry
+
+    def entry(self, domain: str) -> Optional[RegistryEntry]:
+        """Return the entry for *domain*, or None if never registered."""
+        return self._entries.get(domain)
+
+    def is_registered(self, domain: str) -> bool:
+        """True if *domain* was ever registered."""
+        return domain in self._entries
+
+    def domains(self) -> Iterable[str]:
+        """Iterate over all registered domain names."""
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._entries

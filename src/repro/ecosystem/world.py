@@ -1,0 +1,181 @@
+"""The assembled ground-truth world and its query interface."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ecosystem.benign import BenignWorld
+from repro.ecosystem.entities import (
+    Affiliate,
+    AffiliateProgram,
+    Botnet,
+    Campaign,
+    DomainPlacement,
+)
+from repro.ecosystem.registry import Registry
+from repro.simtime import SimTime, Timeline
+
+
+@dataclasses.dataclass(frozen=True)
+class HostingRecord:
+    """Ground truth about what a crawler finds at a storefront domain.
+
+    ``dead`` marks domains whose hosting was never provisioned or was
+    taken down before the crawl; they resolve in DNS but serve nothing.
+    """
+
+    domain: str
+    live_from: SimTime
+    live_until: SimTime
+    program_id: Optional[int]
+    affiliate_id: Optional[int]
+    dead: bool = False
+
+    def live_at(self, t: SimTime) -> bool:
+        """True if an HTTP fetch at time *t* reaches a working site."""
+        return not self.dead and self.live_from <= t < self.live_until
+
+
+@dataclasses.dataclass
+class World:
+    """Everything that exists: the reality every feed partially observes."""
+
+    timeline: Timeline
+    programs: Dict[int, AffiliateProgram]
+    affiliates: Dict[int, Affiliate]
+    botnets: Dict[int, Botnet]
+    campaigns: List[Campaign]
+    registry: Registry
+    benign: BenignWorld
+    hosting: Dict[str, HostingRecord]
+    #: Random pseudo-domains from the poisoning episode (never registered).
+    dga_domains: Set[str]
+    #: The DGA campaign itself (also present in `campaigns`), if any.
+    dga_campaign: Optional[Campaign]
+    #: Redirector domains abused by tagged campaigns: domain ->
+    #: (program_id, affiliate_id) of the storefront behind the redirect.
+    redirector_tags: Dict[str, Tuple[int, Optional[int]]]
+    #: Web-spam pool unique to the hybrid feed's non-email sources.
+    hyb_webspam: List[str]
+    #: Never-registered junk names that appear in user reports.
+    junk_domains: List[str]
+
+    def __post_init__(self) -> None:
+        self._placements_by_domain: Optional[
+            Dict[str, List[Tuple[Campaign, DomainPlacement]]]
+        ] = None
+        self._volume_by_domain: Optional[Dict[str, float]] = None
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+
+    def campaign_by_id(self, campaign_id: int) -> Campaign:
+        """Return the campaign with *campaign_id* (IndexError-safe)."""
+        for c in self.campaigns:
+            if c.campaign_id == campaign_id:
+                return c
+        raise KeyError(f"no campaign {campaign_id}")
+
+    def placements_by_domain(
+        self,
+    ) -> Dict[str, List[Tuple[Campaign, DomainPlacement]]]:
+        """Index of every placement by advertised domain (cached)."""
+        if self._placements_by_domain is None:
+            index: Dict[str, List[Tuple[Campaign, DomainPlacement]]] = {}
+            for campaign in self.campaigns:
+                for placement in campaign.placements:
+                    index.setdefault(placement.domain, []).append(
+                        (campaign, placement)
+                    )
+            self._placements_by_domain = index
+        return self._placements_by_domain
+
+    def emitted_volume_by_domain(self) -> Dict[str, float]:
+        """Ground-truth emitted message volume per advertised domain."""
+        if self._volume_by_domain is None:
+            volumes: Dict[str, float] = {}
+            for campaign in self.campaigns:
+                for placement in campaign.placements:
+                    volumes[placement.domain] = (
+                        volumes.get(placement.domain, 0.0) + placement.volume
+                    )
+            self._volume_by_domain = volumes
+        return self._volume_by_domain
+
+    def advertised_domains(self) -> Set[str]:
+        """All domains ever advertised in email spam (incl. DGA noise)."""
+        return set(self.placements_by_domain())
+
+    def domain_interval(self, domain: str) -> Tuple[SimTime, SimTime]:
+        """Ground-truth (first, last) advertisement time of *domain*."""
+        entries = self.placements_by_domain().get(domain)
+        if not entries:
+            raise KeyError(f"{domain!r} never advertised")
+        return (
+            min(p.start for _, p in entries),
+            max(p.end for _, p in entries),
+        )
+
+    def is_dga(self, domain: str) -> bool:
+        """True if *domain* came from the poisoning episode."""
+        return domain in self.dga_domains
+
+    def truth_program_of(self, domain: str) -> Optional[int]:
+        """Ground-truth tagged program behind *domain*, if any.
+
+        Covers both storefront domains (via hosting) and abused
+        redirector domains (via redirect destination).
+        """
+        record = self.hosting.get(domain)
+        if record is not None and record.program_id is not None:
+            return record.program_id
+        tag = self.redirector_tags.get(domain)
+        if tag is not None:
+            return tag[0]
+        return None
+
+    def truth_affiliate_of(self, domain: str) -> Optional[int]:
+        """Ground-truth affiliate id behind *domain*, if any."""
+        record = self.hosting.get(domain)
+        if record is not None and record.affiliate_id is not None:
+            return record.affiliate_id
+        tag = self.redirector_tags.get(domain)
+        if tag is not None:
+            return tag[1]
+        return None
+
+    def rx_program_id(self) -> Optional[int]:
+        """The program that embeds affiliate ids (RX-Promotion analog)."""
+        for program in self.programs.values():
+            if program.embeds_affiliate_id:
+                return program.program_id
+        return None
+
+    def monitored_botnet_ids(self) -> Set[int]:
+        """Botnets whose bots the Bot feed runs under instrumentation."""
+        return {b.botnet_id for b in self.botnets.values() if b.monitored}
+
+    # ------------------------------------------------------------------
+    # Summary statistics (used by tests and examples)
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """Coarse world statistics for logging and sanity checks."""
+        tagged = sum(1 for c in self.campaigns if c.is_tagged_class)
+        return {
+            "programs": len(self.programs),
+            "affiliates": len(self.affiliates),
+            "botnets": len(self.botnets),
+            "campaigns": len(self.campaigns),
+            "tagged_campaigns": tagged,
+            "advertised_domains": len(self.advertised_domains()),
+            "dga_domains": len(self.dga_domains),
+            "registered_domains": len(self.registry),
+            "alexa_size": len(self.benign.alexa_ranked),
+            "odp_size": len(self.benign.odp_domains),
+            "total_emitted_volume": sum(
+                c.total_volume for c in self.campaigns
+            ),
+        }

@@ -1,0 +1,162 @@
+"""Feed data model: records, datasets, and the collector interface."""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
+
+from repro.ecosystem.world import World
+from repro.simtime import SimTime
+from repro.stats.distributions import EmpiricalDistribution
+
+
+class FeedType(enum.Enum):
+    """The five collection-methodology categories from Section 3.2."""
+
+    HUMAN_IDENTIFIED = "human_identified"
+    BLACKLIST = "blacklist"
+    MX_HONEYPOT = "mx_honeypot"
+    HONEY_ACCOUNT = "honey_account"
+    BOTNET = "botnet"
+    HYBRID = "hybrid"
+
+
+class FeedRecord(NamedTuple):
+    """One sighting: a registered domain observed at a simulation time."""
+
+    domain: str
+    time: SimTime
+
+
+class FeedDataset:
+    """The collected output of one feed over the measurement window.
+
+    For volume-bearing feeds every record corresponds to one captured
+    message (sample); blacklist-style feeds carry a single record per
+    listed domain, and their ``has_volume`` flag is False so the
+    proportionality analysis skips them (Section 4.3).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        feed_type: FeedType,
+        records: Iterable[FeedRecord],
+        has_volume: bool = True,
+    ):
+        self.name = name
+        self.feed_type = feed_type
+        self.has_volume = has_volume
+        self.records: List[FeedRecord] = list(records)
+        self._unique: Optional[Set[str]] = None
+        self._counts: Optional[EmpiricalDistribution] = None
+        self._first_seen: Optional[Dict[str, SimTime]] = None
+        self._last_seen: Optional[Dict[str, SimTime]] = None
+
+    # ------------------------------------------------------------------
+    # Basic statistics (Table 1)
+    # ------------------------------------------------------------------
+
+    @property
+    def total_samples(self) -> int:
+        """Total number of samples received (Table 1, Domains column)."""
+        return len(self.records)
+
+    def unique_domains(self) -> Set[str]:
+        """Distinct registered domains in the feed (Table 1, Unique)."""
+        if self._unique is None:
+            self._unique = {r.domain for r in self.records}
+        return self._unique
+
+    @property
+    def n_unique(self) -> int:
+        """Number of distinct registered domains."""
+        return len(self.unique_domains())
+
+    # ------------------------------------------------------------------
+    # Volume and timing views
+    # ------------------------------------------------------------------
+
+    def domain_counts(self) -> EmpiricalDistribution:
+        """Empirical domain-volume distribution (Section 4.3).
+
+        Meaningful only when ``has_volume`` is True; callers enforcing
+        the paper's restriction should check that flag.
+        """
+        if self._counts is None:
+            counts: Dict[str, float] = {}
+            for record in self.records:
+                counts[record.domain] = counts.get(record.domain, 0.0) + 1.0
+            self._counts = EmpiricalDistribution(counts)
+        return self._counts
+
+    def first_seen(self) -> Dict[str, SimTime]:
+        """Earliest sighting time per domain."""
+        if self._first_seen is None:
+            first: Dict[str, SimTime] = {}
+            for domain, t in self.records:
+                prev = first.get(domain)
+                if prev is None or t < prev:
+                    first[domain] = t
+            self._first_seen = first
+        return self._first_seen
+
+    def last_seen(self) -> Dict[str, SimTime]:
+        """Latest sighting time per domain."""
+        if self._last_seen is None:
+            last: Dict[str, SimTime] = {}
+            for domain, t in self.records:
+                prev = last.get(domain)
+                if prev is None or t > prev:
+                    last[domain] = t
+            self._last_seen = last
+        return self._last_seen
+
+    def restrict(self, domains: Iterable[str]) -> "FeedDataset":
+        """A new dataset containing only records for *domains*."""
+        keyset = set(domains)
+        return FeedDataset(
+            name=self.name,
+            feed_type=self.feed_type,
+            records=[r for r in self.records if r.domain in keyset],
+            has_volume=self.has_volume,
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return (
+            f"FeedDataset({self.name!r}, type={self.feed_type.value}, "
+            f"samples={self.total_samples}, unique={self.n_unique}, "
+            f"has_volume={self.has_volume})"
+        )
+
+
+class FeedCollector(abc.ABC):
+    """Interface every feed implementation satisfies."""
+
+    #: Feed mnemonic as used throughout the paper (e.g. ``"mx1"``).
+    name: str
+    feed_type: FeedType
+    has_volume: bool = True
+
+    @abc.abstractmethod
+    def collect(self, world: World) -> FeedDataset:
+        """Observe *world* and return this feed's dataset."""
+
+    def _finalize(self, world: World, records: List[FeedRecord]) -> FeedDataset:
+        """Clamp-drop records outside the window and build the dataset."""
+        tl = world.timeline
+        kept = [r for r in records if tl.start <= r.time < tl.end]
+        kept.sort(key=lambda r: r.time)
+        return FeedDataset(
+            name=self.name,
+            feed_type=self.feed_type,
+            records=kept,
+            has_volume=self.has_volume,
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

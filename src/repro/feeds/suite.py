@@ -1,0 +1,142 @@
+"""The paper's ten-feed suite, pre-configured.
+
+Parameter choices are calibrated so the collected datasets reproduce the
+qualitative relationships of Tables 1-3 and Figures 1-12 (see
+EXPERIMENTS.md for the target shapes).  All values are per-feed
+apparatus properties -- portfolio sizes, seeding quality, monitoring
+fractions, listing thresholds -- not per-result fudge factors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.ecosystem.world import World
+from repro.feeds.base import FeedCollector, FeedDataset
+from repro.feeds.blacklist import BlacklistConfig, BlacklistFeed
+from repro.feeds.botnet import BotnetFeedConfig, BotnetFeed
+from repro.feeds.honey_account import HoneyAccountConfig, HoneyAccountFeed
+from repro.feeds.human import HumanFeedConfig, HumanIdentifiedFeed
+from repro.feeds.hybrid import HybridFeedConfig, HybridFeed
+from repro.feeds.mx_honeypot import MxHoneypotConfig, MxHoneypotFeed
+
+#: Feed mnemonics in the paper's Table 1 order.
+PAPER_FEED_ORDER = (
+    "Hu", "uribl", "dbl", "mx1", "mx2", "mx3", "Ac1", "Ac2", "Bot", "Hyb",
+)
+
+
+def standard_feed_suite(seed: int = 2012) -> List[FeedCollector]:
+    """Build collectors for the paper's ten feeds."""
+    return [
+        HumanIdentifiedFeed(HumanFeedConfig(), seed),
+        BlacklistFeed(
+            BlacklistConfig(
+                name="uribl",
+                broad_volume_scale=600.0,
+                user_volume_scale=2_600.0,
+                user_weight=0.4,
+                latency_mean_minutes=26 * 60.0,
+                benign_fp_domains=24,
+            ),
+            seed,
+        ),
+        BlacklistFeed(
+            BlacklistConfig(
+                name="dbl",
+                broad_volume_scale=6_000.0,
+                user_volume_scale=70.0,
+                user_weight=1.0,
+                latency_mean_minutes=12 * 60.0,
+                benign_fp_domains=8,
+            ),
+            seed,
+        ),
+        MxHoneypotFeed(
+            MxHoneypotConfig(
+                name="mx1",
+                inclusion_probability=0.80,
+                harvested_inclusion=0.40,
+                catch_rate=0.016,
+                sees_dga=False,
+                benign_fp_domains=90,
+                benign_fp_volume=700.0,
+            ),
+            seed,
+        ),
+        MxHoneypotFeed(
+            MxHoneypotConfig(
+                name="mx2",
+                inclusion_probability=0.90,
+                harvested_inclusion=0.55,
+                catch_rate=0.045,
+                sees_dga=True,
+                dga_catch_rate=0.05,
+                benign_fp_domains=40,
+                benign_fp_volume=500.0,
+            ),
+            seed,
+        ),
+        MxHoneypotFeed(
+            MxHoneypotConfig(
+                name="mx3",
+                inclusion_probability=0.60,
+                harvested_inclusion=0.30,
+                catch_rate=0.014,
+                sees_dga=False,
+                benign_fp_domains=60,
+                benign_fp_volume=350.0,
+            ),
+            seed,
+        ),
+        HoneyAccountFeed(
+            HoneyAccountConfig(
+                name="Ac1",
+                harvested_inclusion=0.75,
+                brute_inclusion=0.45,
+                catch_rate=0.014,
+                benign_fp_domains=70,
+                benign_fp_volume=450.0,
+            ),
+            seed,
+        ),
+        HoneyAccountFeed(
+            HoneyAccountConfig(
+                name="Ac2",
+                harvested_inclusion=0.55,
+                brute_inclusion=0.35,
+                catch_rate=0.02,
+                volume_bias_scale=10_000.0,
+                catch_jitter_sigma=1.4,
+                benign_fp_domains=18,
+                benign_fp_volume=300.0,
+                chaff_factor=0.05,
+            ),
+            seed,
+        ),
+        BotnetFeed(
+            BotnetFeedConfig(
+                name="Bot",
+                monitor_fraction=0.022,
+                dga_monitor_factor=3.0,
+                chaff_factor=0.15,
+            ),
+            seed,
+        ),
+        HybridFeed(HybridFeedConfig(), seed),
+    ]
+
+
+def collect_all(
+    world: World,
+    collectors: Optional[Iterable[FeedCollector]] = None,
+) -> Dict[str, FeedDataset]:
+    """Run every collector against *world*; keyed by feed mnemonic."""
+    if collectors is None:
+        collectors = standard_feed_suite()
+    datasets: Dict[str, FeedDataset] = {}
+    for collector in collectors:
+        if collector.name in datasets:
+            raise ValueError(f"duplicate feed name {collector.name!r}")
+        datasets[collector.name] = collector.collect(world)
+    return datasets

@@ -1,0 +1,34 @@
+"""Serialization: feed datasets to/from JSONL, tables to CSV.
+
+Real deployments receive feeds as files and archive analysis outputs;
+this package provides the same affordances so the library can be used on
+externally-supplied feed data (one JSON record per sighting) rather than
+only on simulator output.
+"""
+
+from repro.io.serialization import (
+    read_feed_jsonl,
+    write_feed_jsonl,
+    read_feeds_dir,
+    write_feeds_dir,
+)
+from repro.io.csvexport import rows_to_csv, write_csv
+from repro.io.url_ingest import (
+    IngestStats,
+    dedup_within_window,
+    ingest_url_file,
+    ingest_url_lines,
+)
+
+__all__ = [
+    "IngestStats",
+    "dedup_within_window",
+    "ingest_url_file",
+    "ingest_url_lines",
+    "read_feed_jsonl",
+    "read_feeds_dir",
+    "rows_to_csv",
+    "write_csv",
+    "write_feed_jsonl",
+    "write_feeds_dir",
+]

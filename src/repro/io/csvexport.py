@@ -1,0 +1,39 @@
+"""CSV export of analysis rows (dataclass lists)."""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+from typing import List, Sequence
+
+
+def rows_to_csv(rows: Sequence) -> str:
+    """Render a list of dataclass instances as CSV text.
+
+    All rows must share one dataclass type; field names become the
+    header.  Raises ``ValueError`` on an empty or mixed list.
+    """
+    if not rows:
+        raise ValueError("no rows to export")
+    first = rows[0]
+    if not dataclasses.is_dataclass(first):
+        raise ValueError("rows must be dataclass instances")
+    row_type = type(first)
+    for row in rows:
+        if type(row) is not row_type:
+            raise ValueError("mixed row types in CSV export")
+    fields: List[str] = [f.name for f in dataclasses.fields(row_type)]
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(fields)
+    for row in rows:
+        writer.writerow([getattr(row, name) for name in fields])
+    return buffer.getvalue()
+
+
+def write_csv(rows: Sequence, path: str) -> None:
+    """Write :func:`rows_to_csv` output to *path*."""
+    text = rows_to_csv(rows)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(text)

@@ -1,0 +1,29 @@
+"""Measurement-side oracles.
+
+These model the external data sources the paper's analysis consumes:
+
+* :class:`ZoneOracle` -- DNS zone-file snapshots for seven TLDs,
+  bracketing the measurement window by 16 months on each side
+  (Section 4.1.1).
+* :class:`AlexaList` / :class:`OdpDirectory` -- benign-domain listings
+  used as negative purity indicators (Section 4.1.3).
+* :class:`CrawlOracle` -- the Click Trajectories-style web crawler:
+  HTTP liveness plus storefront tagging down to affiliate program and
+  (for the RX-Promotion analog) affiliate identifier (Section 3.4).
+* :class:`IncomingMailOracle` -- normalized per-domain message volumes
+  observed by a large webmail provider over five days (Section 4.2.2).
+"""
+
+from repro.oracles.dns_zone import ZoneOracle
+from repro.oracles.weblists import AlexaList, OdpDirectory
+from repro.oracles.crawler import CrawlOracle, CrawlResult
+from repro.oracles.mail_oracle import IncomingMailOracle
+
+__all__ = [
+    "AlexaList",
+    "CrawlOracle",
+    "CrawlResult",
+    "IncomingMailOracle",
+    "OdpDirectory",
+    "ZoneOracle",
+]

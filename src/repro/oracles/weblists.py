@@ -1,0 +1,82 @@
+"""Benign web listings: the Alexa top list and the Open Directory.
+
+Both are negative purity indicators (Section 4.1.3): a feed domain on
+either list is almost certainly a false positive -- except for the
+redirector services spammers deliberately hide behind, which is exactly
+why the paper removes Alexa/ODP domains from the live and tagged sets
+rather than trusting the tags.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.ecosystem.world import World
+
+
+class AlexaList:
+    """The popularity-ranked benign list (Alexa top-1M analog)."""
+
+    def __init__(self, ranked_domains: List[str]):
+        self._ranked = list(ranked_domains)
+        self._ranks: Dict[str, int] = {
+            domain: rank for rank, domain in enumerate(self._ranked, start=1)
+        }
+        if len(self._ranks) != len(self._ranked):
+            raise ValueError("ranked list contains duplicates")
+
+    @classmethod
+    def from_world(cls, world: World) -> "AlexaList":
+        """Snapshot the world's benign popularity ranking."""
+        return cls(world.benign.alexa_ranked)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._ranks
+
+    def __len__(self) -> int:
+        return len(self._ranked)
+
+    def rank(self, domain: str) -> Optional[int]:
+        """1-based popularity rank, or None if unlisted."""
+        return self._ranks.get(domain)
+
+    def top(self, n: int) -> List[str]:
+        """The *n* most popular domains."""
+        return self._ranked[:n]
+
+    def intersection(self, domains: Iterable[str]) -> Set[str]:
+        """Feed domains that are Alexa-listed."""
+        return {d for d in domains if d in self._ranks}
+
+
+class OdpDirectory:
+    """The human-edited benign directory (Open Directory analog)."""
+
+    def __init__(self, domains: Iterable[str]):
+        self._domains = set(domains)
+
+    @classmethod
+    def from_world(cls, world: World) -> "OdpDirectory":
+        """Snapshot the world's directory listing."""
+        return cls(world.benign.odp_domains)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._domains
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+    def intersection(self, domains: Iterable[str]) -> Set[str]:
+        """Feed domains that are ODP-listed."""
+        return {d for d in domains if d in self._domains}
+
+
+def benign_listed(
+    domains: Iterable[str], alexa: AlexaList, odp: OdpDirectory
+) -> Set[str]:
+    """Domains on either benign list (the set the analysis removes)."""
+    result: Set[str] = set()
+    for domain in domains:
+        if domain in alexa or domain in odp:
+            result.add(domain)
+    return result

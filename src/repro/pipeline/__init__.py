@@ -1,0 +1,12 @@
+"""End-to-end experiment pipeline.
+
+:class:`PaperPipeline` wires the whole reproduction together: build the
+world, collect the ten feeds, construct the oracles, and expose one
+method per paper artifact (``table1()`` ... ``figure12()``), each
+returning structured data plus a ``render_*`` companion producing the
+paper-shaped text.
+"""
+
+from repro.pipeline.runner import PaperPipeline, PipelineResult
+
+__all__ = ["PaperPipeline", "PipelineResult"]

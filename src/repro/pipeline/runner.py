@@ -1,0 +1,436 @@
+"""The paper pipeline: one object, every table and figure."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import (
+    FeedComparison,
+    coverage_table,
+    exclusive_scatter,
+    first_appearance_latencies,
+    duration_errors,
+    kendall_matrix,
+    last_appearance_gaps,
+    pairwise_overlap,
+    program_coverage_matrix,
+    affiliate_coverage_matrix,
+    purity_table,
+    revenue_coverage,
+    variation_distance_matrix,
+    volume_coverage,
+)
+from repro.analysis.coverage import CoverageRow, OverlapMatrix, ScatterPoint
+from repro.analysis.purity import PurityRow
+from repro.analysis.timing import BoxStats
+from repro.analysis.volume import VolumeCoverageRow
+from repro.analysis.affiliates import RevenueCoverageRow
+from repro.ecosystem import EcosystemConfig, build_world, paper_config
+from repro.ecosystem.world import World
+from repro.feeds import (
+    FeedCollector,
+    FeedDataset,
+    PAPER_FEED_ORDER,
+    collect_all,
+    standard_feed_suite,
+)
+from repro.reporting.charts import (
+    render_bars,
+    render_box_stats,
+    render_scatter,
+    render_stacked_bars,
+)
+from repro.reporting.matrix import render_overlap_matrix, render_value_matrix
+from repro.reporting.tables import Table, format_count, format_percent
+from repro.simtime import MINUTES_PER_DAY, MINUTES_PER_HOUR
+
+#: Feeds measured in Figure 9 (all except Bot, whose domains barely
+#: overlap the others).
+FIG9_FEEDS = ("Hyb", "Ac2", "Ac1", "mx3", "mx2", "mx1", "uribl", "dbl", "Hu")
+
+#: The live-mail (honeypot) feeds used for Figures 10-12.
+HONEYPOT_FEEDS = ("Ac2", "Ac1", "mx3", "mx2", "mx1")
+
+
+@dataclasses.dataclass
+class PipelineResult:
+    """Everything a pipeline run produces."""
+
+    world: World
+    datasets: Dict[str, FeedDataset]
+    comparison: FeedComparison
+
+
+class PaperPipeline:
+    """Builds the world once and serves every paper artifact from it."""
+
+    def __init__(
+        self,
+        config: Optional[EcosystemConfig] = None,
+        seed: int = 2012,
+        collectors: Optional[Sequence[FeedCollector]] = None,
+        feed_order: Sequence[str] = PAPER_FEED_ORDER,
+    ):
+        self.config = config or paper_config()
+        self.seed = seed
+        self._collectors = list(collectors) if collectors else None
+        self.feed_order = list(feed_order)
+        self._result: Optional[PipelineResult] = None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> PipelineResult:
+        """Build world, collect feeds, assemble the comparison (cached)."""
+        if self._result is None:
+            world = build_world(self.config, seed=self.seed)
+            collectors = self._collectors or standard_feed_suite(self.seed)
+            datasets = collect_all(world, collectors)
+            comparison = FeedComparison(world, datasets, seed=self.seed)
+            self._result = PipelineResult(world, datasets, comparison)
+        return self._result
+
+    @property
+    def comparison(self) -> FeedComparison:
+        """The (lazily built) analysis context."""
+        return self.run().comparison
+
+    def _present_feeds(self, wanted: Sequence[str]) -> List[str]:
+        present = set(self.run().datasets)
+        return [name for name in wanted if name in present]
+
+    # ------------------------------------------------------------------
+    # Table 1
+    # ------------------------------------------------------------------
+
+    def table1(self) -> Dict[str, Dict[str, int]]:
+        """Feed summary: total samples and unique registered domains."""
+        result = self.run()
+        order = self._present_feeds(self.feed_order)
+        return {
+            name: {
+                "samples": result.datasets[name].total_samples,
+                "unique": result.datasets[name].n_unique,
+            }
+            for name in order
+        }
+
+    def render_table1(self) -> str:
+        """Table 1 in the paper's layout."""
+        table = Table(
+            ["Feed", "Type", "Domains", "Unique"],
+            title="Table 1: Summary of spam domain sources (feeds)",
+        )
+        result = self.run()
+        for name, cells in self.table1().items():
+            dataset = result.datasets[name]
+            samples = (
+                "n/a"
+                if dataset.feed_type.value == "blacklist"
+                else format_count(cells["samples"])
+            )
+            table.add_row(
+                name,
+                dataset.feed_type.value.replace("_", " "),
+                samples,
+                format_count(cells["unique"]),
+            )
+        return table.render()
+
+    # ------------------------------------------------------------------
+    # Table 2
+    # ------------------------------------------------------------------
+
+    def table2(self) -> List[PurityRow]:
+        """Purity indicators per feed."""
+        return purity_table(
+            self.comparison, self._present_feeds(self.feed_order)
+        )
+
+    def render_table2(self) -> str:
+        """Table 2 in the paper's layout."""
+        table = Table(
+            ["Feed", "DNS", "HTTP", "Tagged", "ODP", "Alexa"],
+            title="Table 2: Positive and negative indicators of feed purity",
+        )
+        for row in self.table2():
+            table.add_row(
+                row.feed,
+                format_percent(row.dns),
+                format_percent(row.http),
+                format_percent(row.tagged),
+                format_percent(row.odp),
+                format_percent(row.alexa),
+            )
+        return table.render()
+
+    # ------------------------------------------------------------------
+    # Table 3
+    # ------------------------------------------------------------------
+
+    def table3(self) -> List[CoverageRow]:
+        """Total/exclusive domain counts per feed."""
+        return coverage_table(
+            self.comparison, self._present_feeds(self.feed_order)
+        )
+
+    def render_table3(self) -> str:
+        """Table 3 in the paper's layout."""
+        table = Table(
+            [
+                "Feed",
+                "All Total", "All Excl.",
+                "Live Total", "Live Excl.",
+                "Tagged Total", "Tagged Excl.",
+            ],
+            title="Table 3: Feed domain coverage",
+        )
+        for row in self.table3():
+            table.add_row(
+                row.feed,
+                format_count(row.total_all),
+                format_count(row.exclusive_all),
+                format_count(row.total_live),
+                format_count(row.exclusive_live),
+                format_count(row.total_tagged),
+                format_count(row.exclusive_tagged),
+            )
+        return table.render()
+
+    # ------------------------------------------------------------------
+    # Figures
+    # ------------------------------------------------------------------
+
+    def figure1(self, kind: str = "live") -> List[ScatterPoint]:
+        """Distinct vs. exclusive scatter data."""
+        return exclusive_scatter(
+            self.comparison, kind, self._present_feeds(self.feed_order)
+        )
+
+    def render_figure1(self) -> str:
+        """Both Figure 1 panels as scatter tables."""
+        left = render_scatter(
+            self.figure1("live"), title="Figure 1 (left): live domains"
+        )
+        right = render_scatter(
+            self.figure1("tagged"), title="Figure 1 (right): tagged domains"
+        )
+        return f"{left}\n\n{right}"
+
+    def figure2(self, kind: str = "live") -> OverlapMatrix:
+        """Pairwise feed intersection matrix."""
+        return pairwise_overlap(
+            self.comparison, kind, self._present_feeds(self.feed_order)
+        )
+
+    def render_figure2(self) -> str:
+        """Both Figure 2 matrices."""
+        left = render_overlap_matrix(
+            self.figure2("live"),
+            title="Figure 2 (left): pairwise intersection, live domains",
+        )
+        right = render_overlap_matrix(
+            self.figure2("tagged"),
+            title="Figure 2 (right): pairwise intersection, tagged domains",
+        )
+        return f"{left}\n\n{right}"
+
+    def figure3(self, kind: str = "live") -> List[VolumeCoverageRow]:
+        """Volume coverage rows."""
+        return volume_coverage(
+            self.comparison, kind, self._present_feeds(self.feed_order)
+        )
+
+    def render_figure3(self) -> str:
+        """Both Figure 3 panels as stacked bars."""
+        parts = []
+        for kind, label in (("live", "live"), ("tagged", "tagged")):
+            rows = self.figure3(kind)
+            parts.append(
+                render_stacked_bars(
+                    [
+                        (r.feed, r.covered_fraction, r.benign_fraction)
+                        for r in rows
+                    ],
+                    title=(
+                        f"Figure 3 ({label}): spam volume coverage "
+                        "(# covered, : Alexa/ODP)"
+                    ),
+                )
+            )
+        return "\n\n".join(parts)
+
+    def figure4(self) -> OverlapMatrix:
+        """Affiliate-program coverage matrix."""
+        return program_coverage_matrix(
+            self.comparison, self._present_feeds(self.feed_order)
+        )
+
+    def render_figure4(self) -> str:
+        """Figure 4 matrix."""
+        return render_overlap_matrix(
+            self.figure4(),
+            title="Figure 4: pairwise affiliate-program coverage",
+        )
+
+    def figure5(self) -> OverlapMatrix:
+        """RX-Promotion affiliate-id coverage matrix."""
+        return affiliate_coverage_matrix(
+            self.comparison, self._present_feeds(self.feed_order)
+        )
+
+    def render_figure5(self) -> str:
+        """Figure 5 matrix."""
+        return render_overlap_matrix(
+            self.figure5(),
+            title="Figure 5: pairwise RX-Promotion affiliate coverage",
+        )
+
+    def figure6(self) -> List[RevenueCoverageRow]:
+        """Revenue-weighted affiliate coverage."""
+        return revenue_coverage(
+            self.comparison, self._present_feeds(self.feed_order)
+        )
+
+    def render_figure6(self) -> str:
+        """Figure 6 bars (millions of USD)."""
+        rows = self.figure6()
+        return render_bars(
+            [(r.feed, r.covered_revenue / 1e6) for r in rows],
+            unit="M USD",
+            title=(
+                "Figure 6: RX-Promotion affiliate coverage weighted by "
+                "2010 revenue"
+            ),
+        )
+
+    def _volume_feeds(self) -> List[str]:
+        order = self._present_feeds(self.feed_order)
+        volume = set(self.comparison.volume_feed_names)
+        return [n for n in order if n in volume]
+
+    def figure7(self) -> Dict[str, Dict[str, float]]:
+        """Pairwise variation distance (volume feeds + Mail)."""
+        return variation_distance_matrix(
+            self.comparison, self._volume_feeds()
+        )
+
+    def render_figure7(self) -> str:
+        """Figure 7 matrix."""
+        matrix = self.figure7()
+        return render_value_matrix(
+            matrix,
+            title=(
+                "Figure 7: pairwise variational distance of tagged "
+                "domain frequency"
+            ),
+        )
+
+    def figure8(self) -> Dict[str, Dict[str, float]]:
+        """Pairwise Kendall tau-b (volume feeds + Mail)."""
+        return kendall_matrix(self.comparison, self._volume_feeds())
+
+    def render_figure8(self) -> str:
+        """Figure 8 matrix."""
+        return render_value_matrix(
+            self.figure8(),
+            title=(
+                "Figure 8: pairwise Kendall rank correlation of tagged "
+                "domain frequency"
+            ),
+        )
+
+    def figure9(self) -> Dict[str, BoxStats]:
+        """Relative first-appearance times, all feeds except Bot."""
+        feeds = self._present_feeds(FIG9_FEEDS)
+        return first_appearance_latencies(
+            self.comparison, feeds, reference_feeds=feeds
+        )
+
+    def render_figure9(self) -> str:
+        """Figure 9 box summaries (days)."""
+        return render_box_stats(
+            self.figure9(),
+            order=self._present_feeds(FIG9_FEEDS),
+            divisor=MINUTES_PER_DAY,
+            unit="days",
+            title=(
+                "Figure 9: relative first appearance time "
+                "(campaign start from all feeds except Bot)"
+            ),
+        )
+
+    def figure10(self) -> Dict[str, BoxStats]:
+        """First-appearance times relative to honeypot feeds only."""
+        feeds = self._present_feeds(HONEYPOT_FEEDS)
+        return first_appearance_latencies(self.comparison, feeds)
+
+    def render_figure10(self) -> str:
+        """Figure 10 box summaries (hours)."""
+        return render_box_stats(
+            self.figure10(),
+            order=self._present_feeds(HONEYPOT_FEEDS),
+            divisor=MINUTES_PER_HOUR,
+            unit="hours",
+            title=(
+                "Figure 10: relative first appearance time "
+                "(campaign start from MX/honey-account feeds only)"
+            ),
+        )
+
+    def figure11(self) -> Dict[str, BoxStats]:
+        """Last-appearance gap vs. aggregate campaign end."""
+        feeds = self._present_feeds(HONEYPOT_FEEDS)
+        return last_appearance_gaps(self.comparison, feeds)
+
+    def render_figure11(self) -> str:
+        """Figure 11 box summaries (hours)."""
+        return render_box_stats(
+            self.figure11(),
+            order=self._present_feeds(HONEYPOT_FEEDS),
+            divisor=MINUTES_PER_HOUR,
+            unit="hours",
+            title="Figure 11: last appearance vs. campaign end",
+        )
+
+    def figure12(self) -> Dict[str, BoxStats]:
+        """Duration-estimate error vs. aggregate campaign duration."""
+        feeds = self._present_feeds(HONEYPOT_FEEDS)
+        return duration_errors(self.comparison, feeds)
+
+    def render_figure12(self) -> str:
+        """Figure 12 box summaries (hours)."""
+        return render_box_stats(
+            self.figure12(),
+            order=self._present_feeds(HONEYPOT_FEEDS),
+            divisor=MINUTES_PER_HOUR,
+            unit="hours",
+            title="Figure 12: domain lifetime vs. campaign duration",
+        )
+
+    # ------------------------------------------------------------------
+    # Everything at once
+    # ------------------------------------------------------------------
+
+    def render_all(self) -> str:
+        """Every table and figure, separated by blank lines."""
+        parts = [
+            self.render_table1(),
+            self.render_table2(),
+            self.render_table3(),
+            self.render_figure1(),
+            self.render_figure2(),
+            self.render_figure3(),
+            self.render_figure4(),
+            self.render_figure5(),
+            self.render_figure6(),
+            self.render_figure7(),
+            self.render_figure8(),
+            self.render_figure9(),
+            self.render_figure10(),
+            self.render_figure11(),
+            self.render_figure12(),
+        ]
+        return "\n\n".join(parts)

@@ -1,0 +1,24 @@
+"""Rendering of analysis results as paper-shaped text artifacts.
+
+The benchmark harness prints every table and figure of the paper in a
+terminal-friendly form: aligned tables (Tables 1-3), pairwise percentage
+matrices (Figures 2, 4, 5, 7, 8), bar charts (Figures 3 and 6), scatter
+summaries (Figure 1) and box-plot summaries (Figures 9-12).
+"""
+
+from repro.reporting.tables import Table, format_count, format_percent
+from repro.reporting.matrix import render_overlap_matrix, render_value_matrix
+from repro.reporting.charts import render_bars, render_box_stats, render_scatter
+from repro.reporting.report import write_report
+
+__all__ = [
+    "Table",
+    "format_count",
+    "format_percent",
+    "render_bars",
+    "render_box_stats",
+    "render_overlap_matrix",
+    "render_scatter",
+    "render_value_matrix",
+    "write_report",
+]

@@ -1,0 +1,117 @@
+"""Bar charts, scatter summaries and box-plot renderings."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.coverage import ScatterPoint
+from repro.analysis.timing import BoxStats
+
+
+def render_bars(
+    values: Sequence[Tuple[str, float]],
+    width: int = 50,
+    max_value: Optional[float] = None,
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart for Figure 3 / Figure 6 style data."""
+    if not values:
+        return title or ""
+    peak = max_value if max_value is not None else max(v for _, v in values)
+    peak = max(peak, 1e-12)
+    label_width = max(len(label) for label, _ in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in values:
+        filled = int(round(width * min(value, peak) / peak))
+        bar = "#" * filled
+        lines.append(
+            f"{label.ljust(label_width)}  {bar:<{width}}  {value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def render_stacked_bars(
+    values: Sequence[Tuple[str, float, float]],
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Stacked two-component bars (Figure 3: covered ``#`` + benign ``:``).
+
+    Values are fractions in [0, 1]; the bar spans the full width at 1.0.
+    """
+    if not values:
+        return title or ""
+    label_width = max(len(label) for label, _, _ in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, covered, benign in values:
+        n_covered = int(round(width * max(0.0, min(covered, 1.0))))
+        n_benign = int(round(width * max(0.0, min(benign, 1.0 - covered))))
+        bar = "#" * n_covered + ":" * n_benign
+        lines.append(
+            f"{label.ljust(label_width)}  {bar:<{width}}  "
+            f"{100 * covered:5.1f}% + {100 * benign:5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_scatter(
+    points: Sequence[ScatterPoint],
+    title: Optional[str] = None,
+) -> str:
+    """Figure 1 as a table of log10 coordinates and exclusivity shares."""
+    label_width = max((len(p.feed) for p in points), default=4)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'feed'.ljust(label_width)}  {'distinct':>9}  {'excl.':>8}  "
+        f"{'log10(d)':>8}  {'log10(e)':>8}  {'excl%':>6}"
+    )
+    for p in sorted(points, key=lambda p: -p.distinct):
+        log_e = f"{p.log_exclusive:8.2f}" if p.exclusive else "    -inf"
+        lines.append(
+            f"{p.feed.ljust(label_width)}  {p.distinct:>9,}  "
+            f"{p.exclusive:>8,}  {p.log_distinct:8.2f}  {log_e}  "
+            f"{100 * p.exclusive_fraction:5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_box_stats(
+    stats: Mapping[str, BoxStats],
+    order: Optional[Sequence[str]] = None,
+    divisor: float = 1.0,
+    unit: str = "min",
+    title: Optional[str] = None,
+) -> str:
+    """Box-plot summaries (Figures 9-12) as a percentile table."""
+    names = [n for n in (order or stats) if n in stats]
+    label_width = max((len(n) for n in names), default=4)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'feed'.ljust(label_width)}  {'p5':>8}  {'p25':>8}  "
+        f"{'median':>8}  {'p75':>8}  {'p95':>8}  {'n':>6}  ({unit})"
+    )
+    for name in names:
+        b = stats[name].scaled(divisor)
+        lines.append(
+            f"{name.ljust(label_width)}  {b.p5:8.2f}  {b.p25:8.2f}  "
+            f"{b.median:8.2f}  {b.p75:8.2f}  {b.p95:8.2f}  {b.n:>6}"
+        )
+    return "\n".join(lines)
+
+
+def log10_guides(max_value: int) -> List[int]:
+    """Decade guide values up to *max_value* (axis helper for Figure 1)."""
+    if max_value < 1:
+        return []
+    top = int(math.floor(math.log10(max_value)))
+    return [10**k for k in range(0, top + 1)]

@@ -1,0 +1,69 @@
+"""Aligned plain-text tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_count(value: float) -> str:
+    """Format a count with thousands separators (paper-table style)."""
+    return f"{int(round(value)):,}"
+
+
+def format_percent(fraction: float, floor: float = 0.01) -> str:
+    """Format a fraction as a paper-style percentage.
+
+    Values below *floor* (default 1%) but above zero render as ``<1%``,
+    exactly as in Table 2.
+    """
+    if fraction <= 0:
+        return "0%"
+    if fraction < floor:
+        return f"<{int(floor * 100)}%"
+    return f"{round(fraction * 100):.0f}%"
+
+
+class Table:
+    """A simple column-aligned table builder."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+        if not headers:
+            raise ValueError("need at least one column")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        """Append one row; cell count must match the header."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        """Render the table with right-aligned numeric-ish columns."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Iterable[str]) -> str:
+            parts = []
+            for i, cell in enumerate(cells):
+                if i == 0:
+                    parts.append(cell.ljust(widths[i]))
+                else:
+                    parts.append(cell.rjust(widths[i]))
+            return "  ".join(parts).rstrip()
+
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_row(self.headers))
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt_row(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

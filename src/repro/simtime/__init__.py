@@ -1,0 +1,36 @@
+"""Simulation time model.
+
+The paper's measurement window runs from August 1st, 2010 through
+October 31st, 2010 (92 days).  The simulator tracks time as integer
+*minutes* since the start of that window; this module provides the
+window constants, conversion helpers and the :class:`Timeline` object
+shared by the ecosystem, the feeds and the oracles.
+"""
+
+from repro.simtime.clock import (
+    MINUTES_PER_DAY,
+    MINUTES_PER_HOUR,
+    MEASUREMENT_DAYS,
+    MEASUREMENT_MINUTES,
+    ORACLE_WINDOW_DAYS,
+    SimTime,
+    Timeline,
+    days,
+    hours,
+    minutes_to_days,
+    minutes_to_hours,
+)
+
+__all__ = [
+    "MINUTES_PER_DAY",
+    "MINUTES_PER_HOUR",
+    "MEASUREMENT_DAYS",
+    "MEASUREMENT_MINUTES",
+    "ORACLE_WINDOW_DAYS",
+    "SimTime",
+    "Timeline",
+    "days",
+    "hours",
+    "minutes_to_days",
+    "minutes_to_hours",
+]

@@ -1,0 +1,114 @@
+"""Minute-resolution simulation clock for the measurement window.
+
+All simulator components share a single time base: integer minutes since
+2010-08-01 00:00 UTC (the start of the paper's measurement period).  Times
+before the window are negative; this is used by the DNS zone oracle, whose
+snapshots bracket the window by 16 months on either side.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+MINUTES_PER_HOUR = 60
+MINUTES_PER_DAY = 24 * MINUTES_PER_HOUR
+
+#: Length of the paper's measurement window (Aug 1 - Oct 31, 2010).
+MEASUREMENT_DAYS = 92
+MEASUREMENT_MINUTES = MEASUREMENT_DAYS * MINUTES_PER_DAY
+
+#: The incoming mail oracle measured volume over five days (Section 4.2.2).
+ORACLE_WINDOW_DAYS = 5
+
+#: Simulation timestamps are plain ints (minutes since window start).
+SimTime = int
+
+
+def hours(n: float) -> SimTime:
+    """Convert a duration in hours to simulation minutes."""
+    return int(round(n * MINUTES_PER_HOUR))
+
+
+def days(n: float) -> SimTime:
+    """Convert a duration in days to simulation minutes."""
+    return int(round(n * MINUTES_PER_DAY))
+
+
+def minutes_to_hours(t: SimTime) -> float:
+    """Convert simulation minutes to fractional hours."""
+    return t / MINUTES_PER_HOUR
+
+
+def minutes_to_days(t: SimTime) -> float:
+    """Convert simulation minutes to fractional days."""
+    return t / MINUTES_PER_DAY
+
+
+@dataclasses.dataclass(frozen=True)
+class Timeline:
+    """The measurement window and derived sub-windows.
+
+    Parameters
+    ----------
+    start:
+        First minute of the measurement window (always 0 by convention).
+    end:
+        One-past-the-last minute of the window.
+    oracle_start:
+        First minute of the incoming-mail-oracle sample sub-window.
+    oracle_days:
+        Length of the oracle sub-window in days.
+    """
+
+    start: SimTime = 0
+    end: SimTime = MEASUREMENT_MINUTES
+    oracle_start: SimTime = days(45)
+    oracle_days: int = ORACLE_WINDOW_DAYS
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("timeline end must be after start")
+        if not (self.start <= self.oracle_start < self.end):
+            raise ValueError("oracle window must start inside the timeline")
+        if self.oracle_end > self.end:
+            raise ValueError("oracle window must end inside the timeline")
+
+    @property
+    def duration(self) -> SimTime:
+        """Total window length in minutes."""
+        return self.end - self.start
+
+    @property
+    def duration_days(self) -> float:
+        """Total window length in days."""
+        return minutes_to_days(self.duration)
+
+    @property
+    def oracle_end(self) -> SimTime:
+        """One-past-the-last minute of the oracle sub-window."""
+        return self.oracle_start + days(self.oracle_days)
+
+    def contains(self, t: SimTime) -> bool:
+        """Return True if *t* falls inside the measurement window."""
+        return self.start <= t < self.end
+
+    def in_oracle_window(self, t: SimTime) -> bool:
+        """Return True if *t* falls inside the mail-oracle sample window."""
+        return self.oracle_start <= t < self.oracle_end
+
+    def clamp(self, t: SimTime) -> SimTime:
+        """Clamp *t* into the measurement window."""
+        return max(self.start, min(t, self.end - 1))
+
+    def day_of(self, t: SimTime) -> int:
+        """Return the (zero-based) day index of minute *t*."""
+        return (t - self.start) // MINUTES_PER_DAY
+
+    def iter_days(self):
+        """Yield ``(day_index, day_start_minute)`` pairs over the window."""
+        day = 0
+        t = self.start
+        while t < self.end:
+            yield day, t
+            day += 1
+            t += MINUTES_PER_DAY

@@ -1,0 +1,189 @@
+"""Random-variate samplers and empirical distributions.
+
+The ecosystem simulator uses heavy-tailed distributions throughout:
+campaign volumes, affiliate revenues and domain popularity are all
+dominated by a small number of large players -- the property the paper
+leans on when observing that tagged domains are a small fraction of
+distinct domains but the bulk of spam volume.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
+    """Return normalized Zipf weights for ranks ``1..n``.
+
+    ``weight[k] ~ 1 / (k+1)^exponent``, normalized to sum to 1.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    raw = [1.0 / (k + 1) ** exponent for k in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def zipf_sample(rng: random.Random, n: int, exponent: float = 1.0) -> int:
+    """Sample a zero-based rank from a Zipf distribution over ``n`` ranks."""
+    weights = zipf_weights(n, exponent)
+    return weighted_choice(rng, list(range(n)), weights)
+
+
+def weighted_choice(rng: random.Random, items: Sequence, weights: Sequence[float]):
+    """Pick one item according to *weights* (need not be normalized)."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have equal length")
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    cumulative: List[float] = []
+    total = 0.0
+    for w in weights:
+        if w < 0:
+            raise ValueError("weights must be non-negative")
+        total += w
+        cumulative.append(total)
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    x = rng.random() * total
+    index = bisect.bisect_right(cumulative, x)
+    return items[min(index, len(items) - 1)]
+
+
+def truncated_lognormal(
+    rng: random.Random,
+    mu: float,
+    sigma: float,
+    low: float,
+    high: float,
+) -> float:
+    """Sample a lognormal variate rejected into ``[low, high]``.
+
+    Falls back to clamping after 64 rejected draws so that pathological
+    parameterizations cannot loop forever.
+    """
+    if low > high:
+        raise ValueError("low must be <= high")
+    for _ in range(64):
+        x = rng.lognormvariate(mu, sigma)
+        if low <= x <= high:
+            return x
+    return min(max(rng.lognormvariate(mu, sigma), low), high)
+
+
+def bounded_pareto(
+    rng: random.Random,
+    alpha: float,
+    low: float,
+    high: float,
+) -> float:
+    """Sample from a bounded Pareto distribution on ``[low, high]``.
+
+    Uses the standard inverse-CDF form.  Heavy right tail for small
+    *alpha*; used for campaign volumes and affiliate revenue.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if not (0 < low < high):
+        raise ValueError("need 0 < low < high")
+    u = rng.random()
+    la = low**alpha
+    ha = high**alpha
+    # Inverse CDF of the bounded Pareto.
+    x = (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / alpha)
+    return min(max(x, low), high)
+
+
+class EmpiricalDistribution:
+    """An empirical probability distribution over hashable outcomes.
+
+    Built from observed counts; used by the proportionality analysis
+    (Section 4.3) where each volume-bearing feed defines an empirical
+    distribution over spam-advertised domains.
+    """
+
+    def __init__(self, counts: Mapping[Hashable, float]):
+        cleaned: Dict[Hashable, float] = {}
+        for key, count in counts.items():
+            if count < 0:
+                raise ValueError(f"negative count for {key!r}")
+            if count > 0:
+                cleaned[key] = float(count)
+        self._counts = cleaned
+        self._total = sum(cleaned.values())
+
+    @classmethod
+    def from_observations(cls, observations: Iterable[Hashable]) -> "EmpiricalDistribution":
+        """Build a distribution by counting raw observations."""
+        counts: Dict[Hashable, float] = {}
+        for item in observations:
+            counts[item] = counts.get(item, 0.0) + 1.0
+        return cls(counts)
+
+    @property
+    def total(self) -> float:
+        """Total observed mass (sum of all counts)."""
+        return self._total
+
+    @property
+    def support(self) -> frozenset:
+        """The set of outcomes with positive probability."""
+        return frozenset(self._counts)
+
+    def count(self, key: Hashable) -> float:
+        """Raw count for *key* (0 if unseen)."""
+        return self._counts.get(key, 0.0)
+
+    def probability(self, key: Hashable) -> float:
+        """Empirical probability of *key* (0 if unseen or empty)."""
+        if self._total == 0:
+            return 0.0
+        return self._counts.get(key, 0.0) / self._total
+
+    def restrict(self, keys: Iterable[Hashable]) -> "EmpiricalDistribution":
+        """Return the distribution restricted to *keys* (re-normalized)."""
+        keyset = set(keys)
+        return EmpiricalDistribution(
+            {k: c for k, c in self._counts.items() if k in keyset}
+        )
+
+    def top(self, n: int) -> List[Tuple[Hashable, float]]:
+        """Return the *n* highest-count outcomes as (key, count) pairs."""
+        return sorted(self._counts.items(), key=lambda kv: (-kv[1], repr(kv[0])))[:n]
+
+    def items(self) -> Iterable[Tuple[Hashable, float]]:
+        """Iterate over ``(key, count)`` pairs."""
+        return self._counts.items()
+
+    def as_probabilities(self) -> Dict[Hashable, float]:
+        """Return a dict mapping each outcome to its probability."""
+        if self._total == 0:
+            return {}
+        return {k: c / self._total for k, c in self._counts.items()}
+
+    def entropy(self) -> float:
+        """Shannon entropy (nats) of the distribution."""
+        if self._total == 0:
+            return 0.0
+        h = 0.0
+        for c in self._counts.values():
+            p = c / self._total
+            h -= p * math.log(p)
+        return h
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._counts
+
+    def __repr__(self) -> str:
+        return (
+            f"EmpiricalDistribution(outcomes={len(self._counts)}, "
+            f"total={self._total:g})"
+        )

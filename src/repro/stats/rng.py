@@ -1,0 +1,67 @@
+"""Deterministic random-number management.
+
+Every stochastic component of the simulator draws from its own
+``random.Random`` instance derived from a root seed plus a stable string
+label.  This keeps components statistically independent while guaranteeing
+that the whole pipeline is reproducible from a single integer seed, and --
+critically -- that adding draws to one component does not perturb any
+other component's stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterator
+
+
+def derive_seed(root_seed: int, label: str) -> int:
+    """Derive a child seed from *root_seed* and a stable string *label*.
+
+    Uses SHA-256 so that the mapping is stable across Python versions and
+    platforms (``hash()`` is salted per-process and unsuitable).
+    """
+    digest = hashlib.sha256(f"{root_seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def derive_rng(root_seed: int, label: str) -> random.Random:
+    """Return an independent ``random.Random`` for component *label*."""
+    return random.Random(derive_seed(root_seed, label))
+
+
+class SeedSequence:
+    """A factory handing out independent RNG streams from one root seed.
+
+    Examples
+    --------
+    >>> seq = SeedSequence(2012)
+    >>> rng_a = seq.rng("campaigns")
+    >>> rng_b = seq.rng("feeds.mx1")
+    >>> seq2 = SeedSequence(2012)
+    >>> seq2.rng("campaigns").random() == rng_a.random()
+    False
+
+    (The equality above is False only because ``rng_a`` already consumed a
+    draw; fresh streams with the same label are identical.)
+    """
+
+    def __init__(self, root_seed: int):
+        self.root_seed = int(root_seed)
+        self._issued: set = set()
+
+    def rng(self, label: str) -> random.Random:
+        """Return the RNG stream for *label* (fresh instance each call)."""
+        self._issued.add(label)
+        return derive_rng(self.root_seed, label)
+
+    def child(self, label: str) -> "SeedSequence":
+        """Return a nested SeedSequence rooted at a derived seed."""
+        return SeedSequence(derive_seed(self.root_seed, label))
+
+    def issued_labels(self) -> Iterator[str]:
+        """Yield the labels handed out so far (for diagnostics)."""
+        return iter(sorted(self._issued))
+
+    def __repr__(self) -> str:
+        return f"SeedSequence(root_seed={self.root_seed})"

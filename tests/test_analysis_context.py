@@ -1,0 +1,131 @@
+"""Unit tests for FeedComparison over the toy world with known feeds."""
+
+import pytest
+
+from repro.analysis import FeedComparison
+from repro.feeds.base import FeedDataset, FeedRecord, FeedType
+from repro.simtime import days
+
+
+def make_feeds():
+    """Two base feeds plus one blacklist, hand-authored."""
+    hu = FeedDataset(
+        "Hu",
+        FeedType.HUMAN_IDENTIFIED,
+        [
+            FeedRecord("loudpills.com", days(11)),
+            FeedRecord("loudpills.com", days(12)),
+            FeedRecord("quietwatch.biz", days(41)),
+            FeedRecord("megaportal.com", days(20)),   # chaff FP
+            FeedRecord("qwxkzj.com", days(30)),       # junk FP
+        ],
+        has_volume=False,
+    )
+    mx = FeedDataset(
+        "mx1",
+        FeedType.MX_HONEYPOT,
+        [
+            FeedRecord("loudpills.com", days(12)),
+            FeedRecord("loudpills.com", days(13)),
+            FeedRecord("loudpills2.net", days(21)),
+            FeedRecord("shortlink.us", days(14)),     # abused redirector
+        ],
+    )
+    blacklist = FeedDataset(
+        "dbl",
+        FeedType.BLACKLIST,
+        [
+            FeedRecord("loudpills.com", days(11)),
+            FeedRecord("quietwatch.biz", days(42)),
+            FeedRecord("notinbase.com", days(50)),    # blacklist-only
+        ],
+        has_volume=False,
+    )
+    return {"Hu": hu, "mx1": mx, "dbl": blacklist}
+
+
+@pytest.fixture()
+def comparison(toy_world):
+    return FeedComparison(toy_world, make_feeds(), seed=0)
+
+
+class TestPartitions:
+    def test_feed_names(self, comparison):
+        assert comparison.feed_names == ["Hu", "mx1", "dbl"]
+
+    def test_base_vs_blacklist(self, comparison):
+        assert comparison.base_feed_names == ["Hu", "mx1"]
+        assert comparison.blacklist_names == ["dbl"]
+
+    def test_volume_feeds(self, comparison):
+        assert comparison.volume_feed_names == ["mx1"]
+
+    def test_requires_datasets(self, toy_world):
+        with pytest.raises(ValueError):
+            FeedComparison(toy_world, {})
+
+
+class TestBlacklistRestriction:
+    def test_blacklist_only_domains_dropped(self, comparison):
+        assert "notinbase.com" not in comparison.unique_domains("dbl")
+        assert comparison.blacklist_excluded_count("dbl") == 1
+
+    def test_base_feeds_untouched(self, comparison):
+        assert comparison.unique_domains("Hu") == {
+            "loudpills.com", "quietwatch.biz", "megaportal.com", "qwxkzj.com"
+        }
+
+    def test_restriction_can_be_disabled(self, toy_world):
+        unrestricted = FeedComparison(
+            toy_world, make_feeds(), restrict_blacklists=False
+        )
+        assert "notinbase.com" in unrestricted.unique_domains("dbl")
+
+
+class TestCrawlIntegration:
+    def test_union_first_seen_is_min(self, comparison):
+        first = comparison.union_first_seen()
+        assert first["loudpills.com"] == days(11)
+        assert first["quietwatch.biz"] == days(41)
+
+    def test_crawl_results_cover_all_domains(self, comparison):
+        results = comparison.crawl_results()
+        assert set(results) == comparison.union_domains()
+
+    def test_live_excludes_benign_and_dead(self, comparison):
+        live = comparison.live_domains("Hu")
+        # megaportal is Alexa-listed, qwxkzj never hosted.
+        assert live == {"loudpills.com", "quietwatch.biz"}
+
+    def test_tagged_excludes_redirector(self, comparison):
+        # shortlink.us is tagged by the crawler but Alexa-listed, so the
+        # conservative removal drops it (Section 4.1.4).
+        assert comparison.tagged_domains("mx1") == {
+            "loudpills.com", "loudpills2.net"
+        }
+
+    def test_excluded_benign(self, comparison):
+        assert comparison.excluded_benign("mx1") == {"shortlink.us"}
+        assert comparison.excluded_benign("mx1", tagged_only=True) == {
+            "shortlink.us"
+        }
+        assert comparison.excluded_benign("Hu") == {"megaportal.com"}
+        assert comparison.excluded_benign("Hu", tagged_only=True) == set()
+
+    def test_all_live_and_tagged(self, comparison):
+        assert comparison.all_live() == {
+            "loudpills.com", "loudpills2.net", "quietwatch.biz"
+        }
+        assert comparison.all_tagged() == comparison.all_live()
+
+
+class TestAffiliateLookups:
+    def test_programs_of(self, comparison):
+        assert comparison.programs_of("Hu") == {0, 1}
+        assert comparison.programs_of("mx1") == {0}
+
+    def test_rx_affiliates_of(self, comparison):
+        assert comparison.rx_affiliates_of("Hu") == {0}
+        assert comparison.rx_affiliates_of("mx1") == {0}
+        # dbl's tagged set includes quietwatch (program 1, no embedding).
+        assert comparison.rx_affiliates_of("dbl") == {0}

@@ -1,0 +1,98 @@
+"""Unit tests for the filter-evaluation analysis (toy world)."""
+
+import pytest
+
+from repro.analysis import FeedComparison
+from repro.analysis.filtering import (
+    evaluate_all_filters,
+    evaluate_filter,
+    registered_domain_hazard,
+)
+from repro.feeds.base import FeedDataset, FeedRecord, FeedType
+from repro.simtime import days
+
+from tests.test_analysis_context import make_feeds
+
+
+@pytest.fixture()
+def comparison(toy_world):
+    return FeedComparison(toy_world, make_feeds(), seed=0)
+
+
+class TestEvaluateFilter:
+    def test_hu_precision(self, comparison):
+        report = evaluate_filter(comparison, "Hu")
+        # Hu lists 4 domains: 2 spam, 1 benign (megaportal), 1 junk.
+        assert report.listed == 4
+        assert report.true_positives == 2
+        assert report.benign_positives == 1
+        assert report.unknown_positives == 1
+        assert report.precision == 0.5
+
+    def test_domain_recall(self, comparison):
+        report = evaluate_filter(comparison, "Hu")
+        # Ground truth spam domains: loudpills, loudpills2, quietwatch
+        # (the abused redirector is benign by definition here).
+        assert report.domain_recall == pytest.approx(2 / 3)
+
+    def test_volume_recall(self, comparison):
+        report = evaluate_filter(comparison, "Hu")
+        # Hu lists loudpills (50k) + quietwatch (400) of 110,400 total.
+        assert report.volume_recall == pytest.approx(50_400 / 110_400)
+
+    def test_timely_recall_lower_than_total(self, comparison):
+        # Hu saw loudpills on day 11, one day into its day-10..20 run:
+        # only the remaining 90% of its volume was blockable.
+        report = evaluate_filter(comparison, "Hu")
+        assert report.timely_volume_recall < report.volume_recall
+        expected = (50_000 * 0.9 + 400) / 110_400
+        assert report.timely_volume_recall == pytest.approx(expected, rel=0.01)
+
+    def test_collateral_counts_benign_mail(self, comparison):
+        report = evaluate_filter(comparison, "Hu")
+        # Hu wrongly lists megaportal.com (Alexa rank 1).
+        assert report.collateral_fraction > 0.3
+
+    def test_pure_feed_zero_collateral(self, comparison):
+        report = evaluate_filter(comparison, "dbl")
+        assert report.benign_positives == 0
+        assert report.collateral_fraction == 0.0
+        assert report.precision == 1.0
+
+    def test_empty_feed(self, toy_world):
+        feeds = make_feeds()
+        feeds["empty"] = FeedDataset("empty", FeedType.MX_HONEYPOT, [])
+        comparison = FeedComparison(toy_world, feeds)
+        report = evaluate_filter(comparison, "empty")
+        assert report.listed == 0
+        assert report.precision == 0.0
+        assert report.volume_recall == 0.0
+
+    def test_evaluate_all(self, comparison):
+        reports = evaluate_all_filters(comparison)
+        assert set(reports) == {"Hu", "mx1", "dbl"}
+
+
+class TestRegisteredDomainHazard:
+    def test_redirector_flagged(self, comparison):
+        # mx1 carries the abused shortener: blocking it at registered-
+        # domain granularity would take the whole service down.
+        assert registered_domain_hazard(comparison, "mx1") == {
+            "shortlink.us"
+        }
+        assert registered_domain_hazard(comparison, "Hu") == set()
+
+
+class TestLateListing:
+    def test_listing_after_campaign_blocks_nothing(self, toy_world):
+        feeds = make_feeds()
+        feeds["late"] = FeedDataset(
+            "late",
+            FeedType.BLACKLIST,
+            [FeedRecord("loudpills.com", days(60))],  # campaign ended day 20
+            has_volume=False,
+        )
+        comparison = FeedComparison(toy_world, feeds)
+        report = evaluate_filter(comparison, "late")
+        assert report.volume_recall > 0.0       # the domain is listed...
+        assert report.timely_volume_recall == 0.0   # ...but too late

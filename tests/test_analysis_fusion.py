@@ -1,0 +1,113 @@
+"""Unit tests for feed fusion (toy world + small generated world)."""
+
+import pytest
+
+from repro.analysis import FeedComparison
+from repro.analysis.fusion import (
+    FusedInterval,
+    evaluate_fusion,
+    fuse_timelines,
+)
+from repro.simtime import days
+
+from tests.test_analysis_context import make_feeds
+
+
+@pytest.fixture()
+def comparison(toy_world):
+    return FeedComparison(toy_world, make_feeds(), seed=0)
+
+
+class TestFusedInterval:
+    def test_duration(self):
+        interval = FusedInterval("x.com", 10, 40)
+        assert interval.duration == 30
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            FusedInterval("x.com", 40, 10)
+
+
+class TestFuseTimelines:
+    def test_fuses_common_domains(self, comparison):
+        fused = fuse_timelines(
+            comparison,
+            onset_feeds=("Hu", "dbl"),
+            end_feeds=("mx1",),
+            kind="tagged",
+        )
+        # loudpills.com: onset from Hu (day 11), end from mx1 (day 13).
+        assert "loudpills.com" in fused
+        interval = fused["loudpills.com"]
+        assert interval.start == days(11)
+        assert interval.end == days(13)
+
+    def test_onset_only_domains_excluded(self, comparison):
+        fused = fuse_timelines(
+            comparison,
+            onset_feeds=("Hu", "dbl"),
+            end_feeds=("mx1",),
+            kind="tagged",
+        )
+        # quietwatch.biz never appears in mx1 -> no fused end.
+        assert "quietwatch.biz" not in fused
+
+    def test_collapses_rather_than_inverts(self, comparison):
+        # With roles swapped, an "end" feed may have only earlier
+        # sightings; the interval must collapse, not invert.
+        fused = fuse_timelines(
+            comparison,
+            onset_feeds=("mx1",),
+            end_feeds=("Hu",),
+            kind="tagged",
+        )
+        for interval in fused.values():
+            assert interval.end >= interval.start
+
+    def test_requires_both_roles(self, comparison):
+        with pytest.raises(ValueError):
+            fuse_timelines(
+                comparison, onset_feeds=("absent",), end_feeds=("mx1",)
+            )
+
+
+class TestEvaluateFusion:
+    def test_toy_errors_exact(self, comparison):
+        evaluation = evaluate_fusion(
+            comparison,
+            onset_feeds=("Hu", "dbl"),
+            end_feeds=("mx1",),
+            kind="tagged",
+        )
+        # Only loudpills.com is fusable: loudpills2.net has no onset
+        # feed sighting, quietwatch.biz no end-feed sighting.  Its
+        # fused onset (Hu, day 11) and end (mx1, day 13) coincide with
+        # the aggregate, so both errors are zero.
+        assert evaluation.n_domains == 1
+        assert evaluation.onset_error.median == 0.0
+        assert evaluation.end_error.median == 0.0
+
+    def test_fusion_beats_honeypot_onset(self, small_comparison):
+        evaluation = evaluate_fusion(small_comparison)
+        # The fused onset (from Hu/blacklists) must be earlier than the
+        # best single honeypot's onset latency.
+        from repro.analysis.timing import first_appearance_latencies
+
+        honeypots = first_appearance_latencies(
+            small_comparison,
+            ["mx1", "mx3", "Ac1"],
+            reference_feeds=small_comparison.feed_names,
+        )
+        worst_fused = evaluation.onset_error.median
+        best_honeypot = min(s.median for s in honeypots.values())
+        assert worst_fused <= best_honeypot
+
+    def test_fusion_duration_less_biased_than_single_feeds(
+        self, small_comparison
+    ):
+        evaluation = evaluate_fusion(small_comparison)
+        assert evaluation.duration_error.median >= 0.0
+        assert evaluation.n_domains > 10
+        assert evaluation.best_single_onset_feed in (
+            small_comparison.feed_names
+        )

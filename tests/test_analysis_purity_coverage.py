@@ -1,0 +1,150 @@
+"""Unit tests for the purity and coverage analyses (toy world)."""
+
+import math
+
+import pytest
+
+from repro.analysis import FeedComparison, purity_table
+from repro.analysis.coverage import (
+    OverlapMatrix,
+    coverage_table,
+    domain_sets,
+    exclusive_counts,
+    exclusive_scatter,
+    exclusivity_summary,
+    pairwise_overlap,
+)
+from repro.analysis.purity import purity_row
+
+from tests.test_analysis_context import make_feeds
+
+
+@pytest.fixture()
+def comparison(toy_world):
+    return FeedComparison(toy_world, make_feeds(), seed=0)
+
+
+class TestPurity:
+    def test_hu_row_exact(self, comparison):
+        row = purity_row(comparison, "Hu")
+        # Hu uniques: loudpills.com (reg), quietwatch.biz (reg),
+        # megaportal.com (reg benign), qwxkzj.com (unregistered junk).
+        assert row.n_domains == 4
+        assert row.n_zone_checkable == 4
+        assert row.dns == 0.75
+        assert row.http == 0.75     # all but the junk domain are live
+        assert row.tagged == 0.5    # loudpills + quietwatch
+        assert row.alexa == 0.25    # megaportal
+        assert row.odp == 0.0
+
+    def test_mx_row_counts_redirector_as_alexa(self, comparison):
+        row = purity_row(comparison, "mx1")
+        assert row.n_domains == 3
+        assert row.alexa == pytest.approx(1 / 3)
+        assert row.tagged == 1.0    # all three crawls tag (incl. redirect)
+
+    def test_blacklist_row_pure(self, comparison):
+        row = purity_row(comparison, "dbl")
+        assert row.dns == 1.0
+        assert row.alexa == 0.0 and row.odp == 0.0
+
+    def test_table_covers_all_feeds(self, comparison):
+        rows = purity_table(comparison)
+        assert [r.feed for r in rows] == ["Hu", "mx1", "dbl"]
+
+    def test_percentages_view(self, comparison):
+        row = purity_row(comparison, "Hu").as_percentages()
+        assert row["dns"] == 75.0
+
+    def test_empty_feed(self, toy_world):
+        from repro.feeds.base import FeedDataset, FeedType
+        feeds = make_feeds()
+        feeds["empty"] = FeedDataset("empty", FeedType.MX_HONEYPOT, [])
+        comparison = FeedComparison(toy_world, feeds)
+        row = purity_row(comparison, "empty")
+        assert row.n_domains == 0
+        assert row.dns == 0.0
+
+
+class TestExclusiveCounts:
+    def test_basic(self):
+        sets = {"a": {"x", "y"}, "b": {"y", "z"}}
+        assert exclusive_counts(sets) == {"a": 1, "b": 1}
+
+    def test_all_shared(self):
+        sets = {"a": {"x"}, "b": {"x"}}
+        assert exclusive_counts(sets) == {"a": 0, "b": 0}
+
+    def test_empty_feed(self):
+        assert exclusive_counts({"a": set()}) == {"a": 0}
+
+
+class TestCoverageTable:
+    def test_rows_exact(self, comparison):
+        rows = {r.feed: r for r in coverage_table(comparison)}
+        hu = rows["Hu"]
+        assert hu.total_all == 4
+        # megaportal + qwxkzj occur only in Hu, so 2 exclusives.
+        assert hu.exclusive_all == 2
+        assert hu.total_live == 2
+        assert hu.exclusive_live == 0   # both shared with dbl/mx1
+        assert hu.total_tagged == 2
+        mx = rows["mx1"]
+        assert mx.total_tagged == 2
+        assert mx.exclusive_tagged == 1  # loudpills2.net only in mx1
+
+    def test_domain_sets_kinds(self, comparison):
+        assert set(domain_sets(comparison, "all")) == {"Hu", "mx1", "dbl"}
+        with pytest.raises(ValueError):
+            domain_sets(comparison, "bogus")
+
+    def test_exclusivity_summary(self, comparison):
+        summary = exclusivity_summary(comparison, "tagged")
+        assert summary["total"] == 3
+        assert summary["exclusive"] == 1
+        assert math.isclose(summary["fraction"], 1 / 3)
+
+
+class TestScatter:
+    def test_points(self, comparison):
+        points = {p.feed: p for p in exclusive_scatter(comparison, "all")}
+        assert points["Hu"].distinct == 4
+        assert points["Hu"].exclusive == 2
+        assert math.isclose(points["Hu"].exclusive_fraction, 0.5)
+        assert math.isclose(points["Hu"].log_distinct, math.log10(4))
+
+    def test_zero_exclusive_log(self, comparison):
+        points = {p.feed: p for p in exclusive_scatter(comparison, "live")}
+        assert points["Hu"].log_exclusive == 0.0
+
+
+class TestOverlapMatrix:
+    def test_cells(self, comparison):
+        matrix = pairwise_overlap(comparison, "tagged")
+        # Hu tagged = {loudpills, quietwatch}; mx1 = {loudpills, loudpills2}.
+        assert matrix.intersection("Hu", "mx1") == 1
+        assert matrix.fraction("Hu", "mx1") == 0.5
+        fraction, count = matrix.cell("mx1", "Hu")
+        assert (fraction, count) == (0.5, 1)
+
+    def test_all_column(self, comparison):
+        matrix = pairwise_overlap(comparison, "tagged")
+        assert matrix.union_size == 3
+        assert matrix.fraction("Hu", matrix.ALL) == pytest.approx(2 / 3)
+        assert matrix.columns()[-1] == matrix.ALL
+
+    def test_combined_coverage(self, comparison):
+        matrix = pairwise_overlap(comparison, "tagged")
+        assert matrix.combined_coverage(["Hu", "mx1"]) == 1.0
+
+    def test_self_coverage_is_total(self, comparison):
+        matrix = pairwise_overlap(comparison, "live")
+        for feed in matrix.feeds:
+            assert matrix.fraction(feed, feed) == (
+                1.0 if matrix.column_domains(feed) else 0.0
+            )
+
+    def test_empty_column(self):
+        matrix = OverlapMatrix({"a": set(), "b": {"x"}})
+        assert matrix.fraction("b", "a") == 0.0
+        assert matrix.union_coverage("b") == 1.0

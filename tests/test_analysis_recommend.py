@@ -1,0 +1,99 @@
+"""Unit tests for the recommendation engine (toy + small worlds)."""
+
+import pytest
+
+from repro.analysis import FeedComparison
+from repro.analysis.recommend import (
+    Question,
+    diverse_portfolio,
+    portfolio_coverage,
+    rank_feeds,
+    recommend,
+)
+
+from tests.test_analysis_context import make_feeds
+
+
+@pytest.fixture()
+def comparison(toy_world):
+    return FeedComparison(toy_world, make_feeds(), seed=0)
+
+
+class TestRanking:
+    def test_coverage_ranks_hu_first(self, comparison):
+        ranking = rank_feeds(comparison, Question.COVERAGE)
+        assert ranking[0].feed in ("Hu", "mx1")  # both cover 2/3
+        assert all(
+            a.score >= b.score for a, b in zip(ranking, ranking[1:])
+        )
+
+    def test_filtering_penalizes_benign(self, comparison):
+        ranking = {s.feed: s for s in rank_feeds(comparison, Question.FILTERING)}
+        # dbl carries no Alexa/ODP domains; Hu and mx1 each carry one.
+        assert ranking["dbl"].score > ranking["mx1"].score
+
+    def test_proportionality_requires_volume(self, comparison):
+        scores = {s.feed: s for s in rank_feeds(
+            comparison, Question.PROPORTIONALITY
+        )}
+        assert scores["Hu"].score == 0.0  # no volume info
+        assert scores["Hu"].rationale == "no per-message volume information"
+        # mx1 is scored against the oracle (even if the toy campaigns
+        # barely overlap the 5-day window, giving distance ~1).
+        assert "variation distance" in scores["mx1"].rationale
+
+    def test_duration_prefers_live_mail_feeds(self, comparison):
+        scores = {s.feed: s for s in rank_feeds(comparison, Question.DURATION)}
+        assert scores["mx1"].score > scores["Hu"].score
+        assert scores["mx1"].score > scores["dbl"].score
+
+    def test_onset_scores_bounded(self, comparison):
+        for score in rank_feeds(comparison, Question.ONSET):
+            assert 0.0 < score.score <= 1.0
+
+    def test_recommend_returns_top(self, comparison):
+        best = recommend(comparison, Question.COVERAGE)
+        assert best.feed == rank_feeds(comparison, Question.COVERAGE)[0].feed
+
+    def test_rationales_present(self, comparison):
+        for question in Question:
+            for score in rank_feeds(comparison, question):
+                assert score.rationale
+                assert score.feed in str(score)
+
+
+class TestPortfolio:
+    def test_greedy_selects_complementary_feeds(self, comparison):
+        portfolio = diverse_portfolio(comparison, 2, kind="tagged")
+        # First pick covers 2 of 3 tagged domains; second must add the
+        # remaining domain, not duplicate the first.
+        assert len(portfolio) == 2
+        assert portfolio_coverage(comparison, portfolio) == 1.0
+
+    def test_portfolio_stops_when_no_gain(self, comparison):
+        portfolio = diverse_portfolio(comparison, 10, kind="tagged")
+        assert len(portfolio) <= 3
+        assert portfolio_coverage(comparison, portfolio) == 1.0
+
+    def test_size_validation(self, comparison):
+        with pytest.raises(ValueError):
+            diverse_portfolio(comparison, 0)
+
+
+class TestOnSmallWorld:
+    def test_paper_guidelines_emerge(self, small_comparison):
+        # Section 5: human-identified feeds are the best default for
+        # coverage; blacklists the best for filtering purity.
+        best_coverage = recommend(small_comparison, Question.COVERAGE)
+        assert best_coverage.feed in ("Hu", "mx2")
+        filtering = {
+            s.feed: s.score
+            for s in rank_feeds(small_comparison, Question.FILTERING)
+        }
+        assert filtering["dbl"] > filtering["Ac2"]
+
+    def test_portfolio_prefers_diversity(self, small_comparison):
+        portfolio = diverse_portfolio(small_comparison, 3, kind="live")
+        # Never two MX honeypots before a human/hybrid source is in.
+        mx_members = [f for f in portfolio if f.startswith("mx")]
+        assert len(mx_members) <= 2

@@ -1,0 +1,95 @@
+"""Unit tests for volume coverage and affiliate analyses (toy world)."""
+
+import pytest
+
+from repro.analysis import FeedComparison
+from repro.analysis.affiliates import (
+    affiliate_coverage_matrix,
+    exclusive_affiliates,
+    program_coverage_matrix,
+    revenue_coverage,
+    rx_affiliate_sets,
+)
+from repro.analysis.volume import volume_coverage, volume_coverage_by_feed
+
+from tests.test_analysis_context import make_feeds
+
+
+@pytest.fixture()
+def comparison(toy_world):
+    return FeedComparison(toy_world, make_feeds(), seed=0)
+
+
+class TestVolumeCoverage:
+    def test_fractions_bounded(self, comparison):
+        for kind in ("live", "tagged"):
+            for row in volume_coverage(comparison, kind):
+                assert 0.0 <= row.covered_fraction <= 1.0
+                assert 0.0 <= row.benign_fraction <= 1.0
+                assert row.stacked_total <= 1.0 + 1e-9
+
+    def test_rejects_bad_kind(self, comparison):
+        with pytest.raises(ValueError):
+            volume_coverage(comparison, "all")
+
+    def test_union_feed_would_cover_everything(self, comparison):
+        rows = volume_coverage_by_feed(comparison, "live")
+        # Hu + mx1 + dbl jointly hold every live domain, and the
+        # benign stack accounts for the rest of the denominator.
+        total_covered = max(r.covered_fraction for r in rows.values())
+        assert total_covered > 0.0
+
+    def test_benign_stack_from_redirector(self, comparison):
+        rows = volume_coverage_by_feed(comparison, "tagged")
+        # Only mx1 saw the abused redirector, so only it carries a
+        # benign component in the tagged plot.
+        assert rows["mx1"].benign_fraction > 0.0
+        assert rows["Hu"].benign_fraction == 0.0
+
+    def test_redirector_dominates_volume(self, comparison):
+        # The Alexa-listed redirector's legit-mail volume dwarfs the
+        # spam domains: the paper's Figure 3 hazard.
+        rows = volume_coverage_by_feed(comparison, "tagged")
+        assert rows["mx1"].benign_fraction > rows["mx1"].covered_fraction
+
+
+class TestProgramCoverage:
+    def test_matrix(self, comparison):
+        matrix = program_coverage_matrix(comparison)
+        assert matrix.union_size == 2
+        assert matrix.intersection("Hu", "All") == 2
+        assert matrix.intersection("mx1", "All") == 1
+        assert matrix.fraction("mx1", "Hu") == 0.5
+
+
+class TestAffiliateCoverage:
+    def test_rx_sets(self, comparison):
+        sets = rx_affiliate_sets(comparison)
+        assert sets["Hu"] == {0}
+        assert sets["mx1"] == {0}
+
+    def test_matrix(self, comparison):
+        matrix = affiliate_coverage_matrix(comparison)
+        assert matrix.union_size == 1
+        assert matrix.fraction("Hu", "mx1") == 1.0
+
+    def test_exclusive_affiliates(self):
+        sets = {"a": {1, 2}, "b": {2, 3}}
+        assert exclusive_affiliates(sets) == {"a": {1}, "b": {3}}
+
+
+class TestRevenueCoverage:
+    def test_rows(self, comparison):
+        rows = {r.feed: r for r in revenue_coverage(comparison)}
+        # Affiliate 0 (RX) earns 100k; total RX revenue is 100k.
+        assert rows["Hu"].covered_revenue == 100_000.0
+        assert rows["Hu"].total_revenue == 100_000.0
+        assert rows["Hu"].revenue_fraction == 1.0
+        assert rows["Hu"].n_affiliates == 1
+
+    def test_zero_total_safe(self, comparison, toy_world):
+        # Remove all RX affiliates: fraction must not divide by zero.
+        toy_world.affiliates.clear()
+        rows = revenue_coverage(comparison)
+        for row in rows:
+            assert row.revenue_fraction == 0.0

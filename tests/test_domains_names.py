@@ -1,0 +1,110 @@
+"""Unit tests for domain-name generators."""
+
+import random
+
+import pytest
+
+from repro.domains.names import (
+    BenignNameGenerator,
+    DgaNameGenerator,
+    SpamNameGenerator,
+    is_plausible_dga,
+    merge_disjoint,
+    unique_names,
+)
+from repro.domains.parse import normalize_domain
+
+
+class TestSpamNameGenerator:
+    def test_names_are_valid_domains(self):
+        gen = SpamNameGenerator(random.Random(1), "pharma")
+        for name in gen.generate_batch(200):
+            assert normalize_domain(name) == name
+
+    def test_no_duplicates(self):
+        gen = SpamNameGenerator(random.Random(2), "replica")
+        names = gen.generate_batch(500)
+        assert len(set(names)) == 500
+
+    def test_deterministic(self):
+        a = SpamNameGenerator(random.Random(3), "software").generate_batch(10)
+        b = SpamNameGenerator(random.Random(3), "software").generate_batch(10)
+        assert a == b
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            SpamNameGenerator(random.Random(0), "weapons")
+
+    def test_issued_tracking(self):
+        gen = SpamNameGenerator(random.Random(4), "pharma")
+        names = gen.generate_batch(25)
+        assert gen.issued_count == 25
+        assert gen.issued() == set(names)
+
+    def test_category_flavor(self):
+        gen = SpamNameGenerator(random.Random(5), "pharma")
+        joined = " ".join(gen.generate_batch(300))
+        assert any(word in joined for word in ("pill", "rx", "med", "pharma"))
+
+
+class TestBenignNameGenerator:
+    def test_valid_and_unique(self):
+        gen = BenignNameGenerator(random.Random(6))
+        names = gen.generate_batch(300)
+        assert len(set(names)) == 300
+        for name in names[:50]:
+            assert normalize_domain(name) == name
+
+
+class TestDgaNameGenerator:
+    def test_length_bounds(self):
+        gen = DgaNameGenerator(random.Random(7), min_len=9, max_len=12)
+        for name in gen.generate_batch(100):
+            label = name.split(".")[0]
+            assert 9 <= len(label) <= 12
+
+    def test_mostly_dga_flagged(self):
+        gen = DgaNameGenerator(random.Random(8))
+        names = gen.generate_batch(300)
+        flagged = sum(1 for n in names if is_plausible_dga(n))
+        assert flagged / len(names) > 0.7
+
+    def test_bad_length_config(self):
+        with pytest.raises(ValueError):
+            DgaNameGenerator(random.Random(0), min_len=10, max_len=5)
+        with pytest.raises(ValueError):
+            DgaNameGenerator(random.Random(0), min_len=1, max_len=5)
+
+    def test_large_batch_unique(self):
+        gen = DgaNameGenerator(random.Random(9))
+        names = gen.generate_batch(20_000)
+        assert len(set(names)) == 20_000
+
+
+class TestIsPlausibleDga:
+    def test_benign_words_not_flagged(self):
+        for name in ("newsonline.com", "megaportal.org", "travelzone.net"):
+            assert not is_plausible_dga(name)
+
+    def test_short_names_not_flagged(self):
+        assert not is_plausible_dga("xkcd.com")
+
+    def test_digits_not_flagged(self):
+        assert not is_plausible_dga("qwrtypsdfg99.com")
+
+    def test_consonant_soup_flagged(self):
+        assert is_plausible_dga("pqwxrtzkvbn.com")
+
+
+class TestHelpers:
+    def test_unique_names(self):
+        gen = BenignNameGenerator(random.Random(10))
+        assert len(unique_names(gen, 5)) == 5
+
+    def test_merge_disjoint_ok(self):
+        merged = merge_disjoint(["a.com"], ["b.com"], {"c.com"})
+        assert merged == {"a.com", "b.com", "c.com"}
+
+    def test_merge_disjoint_detects_overlap(self):
+        with pytest.raises(ValueError):
+            merge_disjoint(["a.com"], ["a.com"])

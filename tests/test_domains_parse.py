@@ -1,0 +1,101 @@
+"""Unit tests for domain normalization and registered-domain extraction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.domains.parse import (
+    InvalidDomainError,
+    normalize_domain,
+    registered_domain,
+    split_domain,
+    try_registered_domain,
+)
+
+_label = st.from_regex(r"[a-z0-9]([a-z0-9-]{0,8}[a-z0-9])?", fullmatch=True)
+
+
+class TestNormalizeDomain:
+    def test_lowercases(self):
+        assert normalize_domain("ExAmPle.COM") == "example.com"
+
+    def test_strips_whitespace_and_trailing_dot(self):
+        assert normalize_domain("  example.com.  ") == "example.com"
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidDomainError):
+            normalize_domain("")
+
+    def test_rejects_single_label(self):
+        with pytest.raises(InvalidDomainError):
+            normalize_domain("localhost")
+
+    def test_rejects_bad_characters(self):
+        for bad in ("exa mple.com", "ex_ample.com", "exämple.com",
+                    "-bad.com", "bad-.com", ".com", "a..com"):
+            with pytest.raises(InvalidDomainError):
+                normalize_domain(bad)
+
+    def test_rejects_overlong_name(self):
+        name = ".".join(["a" * 60] * 5)
+        with pytest.raises(InvalidDomainError):
+            normalize_domain(name)
+
+    def test_rejects_overlong_label(self):
+        with pytest.raises(InvalidDomainError):
+            normalize_domain("a" * 64 + ".com")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(InvalidDomainError):
+            normalize_domain(42)
+
+    def test_accepts_63_char_label(self):
+        assert normalize_domain("a" * 63 + ".com") == "a" * 63 + ".com"
+
+    def test_digits_and_hyphens(self):
+        assert normalize_domain("a-1.b2.com") == "a-1.b2.com"
+
+
+class TestSplitDomain:
+    def test_three_parts(self):
+        sub, registrant, suffix = split_domain("www.shop.example.com")
+        assert (sub, registrant, suffix) == ("www.shop", "example", "com")
+
+    def test_no_subdomain(self):
+        sub, registrant, suffix = split_domain("example.com")
+        assert (sub, registrant, suffix) == ("", "example", "com")
+
+    def test_multi_label_suffix(self):
+        sub, registrant, suffix = split_domain("a.example.co.uk")
+        assert (sub, registrant, suffix) == ("a", "example", "co.uk")
+
+    def test_bare_suffix_raises(self):
+        with pytest.raises(InvalidDomainError):
+            split_domain("co.uk")
+
+
+class TestRegisteredDomain:
+    def test_paper_example(self):
+        # Section 3.1's canonical example.
+        assert registered_domain("cs.ucsd.edu") == "ucsd.edu"
+
+    def test_identity_on_registered(self):
+        assert registered_domain("ucsd.edu") == "ucsd.edu"
+
+    def test_idempotent(self):
+        once = registered_domain("a.b.example.com")
+        assert registered_domain(once) == once
+
+    @given(_label, _label)
+    def test_property_subdomain_invariance(self, sub, registrant):
+        base = f"{registrant}.com"
+        assert registered_domain(f"{sub}.{base}") == registered_domain(base)
+
+
+class TestTryRegisteredDomain:
+    def test_valid(self):
+        assert try_registered_domain("x.example.com") == "example.com"
+
+    def test_invalid_returns_none(self):
+        assert try_registered_domain("not a domain") is None
+        assert try_registered_domain("com") is None

@@ -1,0 +1,98 @@
+"""Unit tests for the public-suffix table."""
+
+import pytest
+
+from repro.domains.psl import (
+    DEFAULT_SUFFIXES,
+    PublicSuffixTable,
+    default_suffix_table,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return default_suffix_table()
+
+
+class TestSuffixMatching:
+    def test_simple_tld(self, table):
+        assert table.public_suffix("example.com") == "com"
+
+    def test_multi_label_suffix(self, table):
+        assert table.public_suffix("example.co.uk") == "co.uk"
+
+    def test_deep_subdomain(self, table):
+        assert table.public_suffix("a.b.c.example.org") == "org"
+
+    def test_unknown_tld_implicit_rule(self, table):
+        assert table.public_suffix("example.zz") == "zz"
+
+    def test_wildcard_rule(self, table):
+        # *.ck: one label under ck is itself a public suffix.
+        assert table.public_suffix("foo.bar.ck") == "bar.ck"
+
+    def test_wildcard_exception(self, table):
+        # !www.ck: www.ck is NOT a public suffix despite *.ck.
+        assert table.registered_domain("www.ck") == "www.ck"
+
+    def test_case_insensitive(self, table):
+        assert table.public_suffix("Example.COM") == "com"
+
+    def test_trailing_dot(self, table):
+        assert table.public_suffix("example.com.") == "com"
+
+
+class TestRegisteredDomain:
+    def test_second_level(self, table):
+        assert table.registered_domain("ucsd.edu") == "ucsd.edu"
+
+    def test_subdomain_stripped(self, table):
+        assert table.registered_domain("cs.ucsd.edu") == "ucsd.edu"
+
+    def test_multi_label_suffix(self, table):
+        assert (
+            table.registered_domain("shop.example.co.uk") == "example.co.uk"
+        )
+
+    def test_bare_suffix_is_none(self, table):
+        assert table.registered_domain("com") is None
+        assert table.registered_domain("co.uk") is None
+
+    def test_is_public_suffix(self, table):
+        assert table.is_public_suffix("com")
+        assert not table.is_public_suffix("example.com")
+
+    def test_wildcard_registered_domain(self, table):
+        assert table.registered_domain("x.foo.bar.ck") == "foo.bar.ck"
+
+
+class TestTableConstruction:
+    def test_empty_rules_fall_back_to_implicit(self):
+        t = PublicSuffixTable([])
+        assert t.public_suffix("a.b.c") == "c"
+
+    def test_blank_rules_skipped(self):
+        t = PublicSuffixTable(["", "  ", "com"])
+        assert t.public_suffix("x.com") == "com"
+
+    def test_known_tlds_sorted(self, table):
+        tlds = table.known_tlds()
+        assert list(tlds) == sorted(tlds)
+        assert "com" in tlds
+
+    def test_suffix_length_rejects_empty(self, table):
+        with pytest.raises(ValueError):
+            table.suffix_length([])
+
+    def test_default_table_is_shared(self):
+        assert default_suffix_table() is default_suffix_table()
+
+    def test_default_rules_cover_zone_tlds(self):
+        # The DNS oracle's seven TLDs must all be known suffixes.
+        for tld in ("com", "net", "org", "biz", "us", "aero", "info"):
+            assert tld in DEFAULT_SUFFIXES
+
+    def test_longest_rule_wins(self):
+        t = PublicSuffixTable(["uk", "co.uk"])
+        assert t.public_suffix("x.co.uk") == "co.uk"
+        assert t.registered_domain("x.co.uk") == "x.co.uk"

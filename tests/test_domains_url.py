@@ -1,0 +1,96 @@
+"""Unit tests for URL parsing."""
+
+import pytest
+
+from repro.domains.parse import InvalidDomainError
+from repro.domains.url import (
+    InvalidUrlError,
+    domain_of_url,
+    parse_url,
+    try_domain_of_url,
+)
+
+AT = chr(64)  # keep literal user@host strings out of the source
+
+
+class TestParseUrl:
+    def test_basic(self):
+        p = parse_url("http://example.com/index.html")
+        assert p.scheme == "http"
+        assert p.host == "example.com"
+        assert p.port is None
+        assert p.path == "/index.html"
+
+    def test_https(self):
+        assert parse_url("https://example.com").scheme == "https"
+
+    def test_default_path(self):
+        assert parse_url("http://example.com").path == "/"
+
+    def test_port(self):
+        p = parse_url("http://example.com:8080/x")
+        assert p.port == 8080
+
+    def test_userinfo_stripped(self):
+        p = parse_url(f"http://user:pw{AT}shop.example.com:81/p")
+        assert p.host == "shop.example.com"
+        assert p.port == 81
+
+    def test_query_and_fragment_terminate_authority(self):
+        assert parse_url("http://example.com?q=1").host == "example.com"
+        assert parse_url("http://example.com#frag").host == "example.com"
+
+    def test_host_lowercased(self):
+        assert parse_url("http://EXAMPLE.Com/").host == "example.com"
+
+    def test_ip_literal_detected(self):
+        assert parse_url("http://192.168.1.1/").is_ip_literal
+        assert not parse_url("http://example.com/").is_ip_literal
+
+    def test_rejects_missing_scheme(self):
+        with pytest.raises(InvalidUrlError):
+            parse_url("example.com/path")
+
+    def test_rejects_non_http_scheme(self):
+        with pytest.raises(InvalidUrlError):
+            parse_url("ftp://example.com/")
+
+    def test_rejects_bad_port(self):
+        with pytest.raises(InvalidUrlError):
+            parse_url("http://example.com:abc/")
+        with pytest.raises(InvalidUrlError):
+            parse_url("http://example.com:99999/")
+
+    def test_rejects_empty_host(self):
+        with pytest.raises(InvalidUrlError):
+            parse_url("http:///path")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(InvalidUrlError):
+            parse_url(None)
+
+
+class TestDomainOfUrl:
+    def test_extracts_registered_domain(self):
+        assert (
+            domain_of_url("http://www.shop.pillstore.info/buy?x=1")
+            == "pillstore.info"
+        )
+
+    def test_rejects_ip_literal(self):
+        with pytest.raises(InvalidUrlError):
+            domain_of_url("http://10.0.0.1/")
+
+    def test_rejects_bare_suffix_host(self):
+        with pytest.raises(InvalidDomainError):
+            domain_of_url("http://com/")
+
+
+class TestTryDomainOfUrl:
+    def test_valid(self):
+        assert try_domain_of_url("https://a.b.example.org/") == "example.org"
+
+    def test_all_failure_modes_return_none(self):
+        for bad in ("nota url", "ftp://x.com/", "http://10.0.0.1/",
+                    "http://com/", "http://bad_host.com/"):
+            assert try_domain_of_url(bad) is None

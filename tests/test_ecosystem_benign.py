@@ -1,0 +1,107 @@
+"""Unit tests for the benign web."""
+
+import random
+
+import pytest
+
+from repro.ecosystem.benign import BenignWorld, build_benign_world
+
+
+def small_benign(seed=1, **overrides):
+    params = dict(
+        alexa_size=200,
+        odp_size=100,
+        odp_alexa_overlap=0.5,
+        n_redirectors=8,
+        chaff_pool_size=30,
+        n_newsletter_domains=15,
+    )
+    params.update(overrides)
+    return build_benign_world(random.Random(seed), **params)
+
+
+class TestBuildBenignWorld:
+    def test_sizes(self):
+        world = small_benign()
+        assert len(world.alexa_ranked) == 200
+        assert len(world.odp_domains) == 100
+        assert len(world.redirectors) == 8
+        assert len(world.newsletter_domains) == 15
+
+    def test_odp_alexa_overlap_fraction(self):
+        world = small_benign()
+        overlap = world.odp_domains & world.alexa_set
+        assert len(overlap) == 50
+
+    def test_redirectors_alexa_listed(self):
+        world = small_benign()
+        for r in world.redirectors:
+            assert r in world.alexa_set
+
+    def test_chaff_from_listed_pools(self):
+        world = small_benign()
+        for domain in world.chaff_pool:
+            assert domain in world.alexa_set or domain in world.odp_domains
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ValueError):
+            small_benign(odp_alexa_overlap=1.5)
+
+    def test_rejects_too_many_redirectors(self):
+        with pytest.raises(ValueError):
+            small_benign(n_redirectors=500)
+
+    def test_deterministic(self):
+        assert small_benign(3).alexa_ranked == small_benign(3).alexa_ranked
+
+
+class TestBenignWorld:
+    def test_duplicate_alexa_rejected(self):
+        with pytest.raises(ValueError):
+            BenignWorld(["a.com", "a.com"], set(), [], [], [])
+
+    def test_unlisted_redirector_rejected(self):
+        with pytest.raises(ValueError):
+            BenignWorld(["a.com"], set(), ["b.com"], [], [])
+
+    def test_is_benign(self):
+        world = small_benign()
+        assert world.is_benign(world.alexa_ranked[0])
+        assert world.is_benign(next(iter(world.odp_domains)))
+        assert world.is_benign(world.newsletter_domains[0])
+        assert not world.is_benign("spammy-pills.biz")
+
+    def test_all_benign_union(self):
+        world = small_benign()
+        assert world.alexa_set <= world.all_benign
+        assert world.odp_domains <= world.all_benign
+
+    def test_sample_chaff_head_heavy(self):
+        world = small_benign()
+        rng = random.Random(0)
+        draws = [world.sample_chaff(rng) for _ in range(2000)]
+        head = world.chaff_pool[0]
+        tail = world.chaff_pool[-1]
+        assert draws.count(head) > draws.count(tail)
+
+    def test_sample_chaff_empty_raises(self):
+        world = BenignWorld(["a.com"], set(), [], [], [])
+        with pytest.raises(ValueError):
+            world.sample_chaff(random.Random(0))
+
+    def test_sample_redirector(self):
+        world = small_benign()
+        rng = random.Random(0)
+        assert world.sample_redirector(rng) in world.redirectors
+
+    def test_sample_redirector_empty_raises(self):
+        world = BenignWorld(["a.com"], set(), [], [], [])
+        with pytest.raises(ValueError):
+            world.sample_redirector(random.Random(0))
+
+    def test_sample_newsletter(self):
+        world = small_benign()
+        assert (
+            world.sample_newsletter(random.Random(0))
+            in world.newsletter_domains
+        )

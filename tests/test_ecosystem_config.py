@@ -1,0 +1,135 @@
+"""Unit tests for ecosystem configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.ecosystem.config import (
+    BenignConfig,
+    CampaignClassConfig,
+    EcosystemConfig,
+    ProgramConfig,
+    paper_config,
+    small_config,
+)
+from repro.ecosystem.entities import AddressStrategy, CampaignClass
+
+
+def valid_class_config(**overrides):
+    defaults = dict(
+        count=5,
+        volume_low=10.0,
+        volume_high=100.0,
+        volume_alpha=1.0,
+        domains_low=1,
+        domains_high=3,
+        duration_low_days=1.0,
+        duration_high_days=2.0,
+        strategies=((AddressStrategy.BRUTE_FORCE, 1.0),),
+    )
+    defaults.update(overrides)
+    return CampaignClassConfig(**defaults)
+
+
+class TestCampaignClassConfig:
+    def test_valid(self):
+        cfg = valid_class_config()
+        assert cfg.count == 5
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            valid_class_config(count=-1)
+
+    def test_rejects_bad_volume_range(self):
+        with pytest.raises(ValueError):
+            valid_class_config(volume_low=100.0, volume_high=10.0)
+        with pytest.raises(ValueError):
+            valid_class_config(volume_low=0.0)
+
+    def test_rejects_bad_domain_range(self):
+        with pytest.raises(ValueError):
+            valid_class_config(domains_low=0)
+        with pytest.raises(ValueError):
+            valid_class_config(domains_low=5, domains_high=2)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            valid_class_config(duration_low_days=3.0, duration_high_days=1.0)
+
+    def test_rejects_bad_tagged_fraction(self):
+        with pytest.raises(ValueError):
+            valid_class_config(tagged_fraction=1.5)
+
+    def test_rejects_empty_strategies(self):
+        with pytest.raises(ValueError):
+            valid_class_config(strategies=())
+
+    def test_frozen(self):
+        cfg = valid_class_config()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.count = 10
+
+
+class TestProgramConfig:
+    def test_total_programs_is_45_by_default(self):
+        assert ProgramConfig().total_programs == 45
+
+
+class TestPresets:
+    def test_paper_config_has_all_classes(self):
+        cfg = paper_config()
+        for cls in (
+            CampaignClass.BOTNET_BROADCAST,
+            CampaignClass.DIRECT_BROADCAST,
+            CampaignClass.QUIET_TARGETED,
+            CampaignClass.OTHER_GOODS,
+        ):
+            assert cls in cfg.campaign_classes
+
+    def test_small_config_is_smaller(self):
+        small, paper = small_config(), paper_config()
+        for cls, small_cfg in small.campaign_classes.items():
+            assert small_cfg.count <= paper.campaign_classes[cls].count
+        assert small.benign.alexa_size < paper.benign.alexa_size
+        assert small.dga.n_domains < paper.dga.n_domains
+
+    def test_quiet_campaigns_dominate_counts(self):
+        # The structural driver of the paper's coverage result: quiet
+        # campaigns vastly outnumber loud ones.
+        cfg = paper_config()
+        quiet = cfg.campaign_classes[CampaignClass.QUIET_TARGETED].count
+        loud = cfg.campaign_classes[CampaignClass.BOTNET_BROADCAST].count
+        assert quiet > 10 * loud
+
+    def test_loud_campaigns_dominate_volume(self):
+        cfg = paper_config()
+        quiet = cfg.campaign_classes[CampaignClass.QUIET_TARGETED]
+        loud = cfg.campaign_classes[CampaignClass.BOTNET_BROADCAST]
+        assert loud.volume_high > 100 * quiet.volume_high
+
+    def test_quiet_campaigns_evade_filters(self):
+        cfg = paper_config()
+        quiet = cfg.campaign_classes[CampaignClass.QUIET_TARGETED]
+        loud = cfg.campaign_classes[CampaignClass.BOTNET_BROADCAST]
+        assert quiet.filter_evasion_low > loud.filter_evasion_high
+
+    def test_quiet_strategies_invisible_to_honeypots(self):
+        cfg = paper_config()
+        quiet = cfg.campaign_classes[CampaignClass.QUIET_TARGETED]
+        strategies = dict(quiet.strategies)
+        honeypot_visible = strategies.get(AddressStrategy.BRUTE_FORCE, 0.0)
+        assert honeypot_visible == 0.0
+
+    def test_class_config_lookup(self):
+        cfg = paper_config()
+        assert (
+            cfg.class_config(CampaignClass.OTHER_GOODS)
+            is cfg.campaign_classes[CampaignClass.OTHER_GOODS]
+        )
+        with pytest.raises(KeyError):
+            EcosystemConfig().class_config(CampaignClass.OTHER_GOODS)
+
+    def test_benign_defaults_sane(self):
+        benign = BenignConfig()
+        assert benign.n_redirectors < benign.alexa_size
+        assert 0.0 <= benign.odp_alexa_overlap <= 1.0

@@ -1,0 +1,103 @@
+"""Unit tests for message-level rendering."""
+
+import random
+
+import pytest
+
+from repro.domains.url import parse_url, try_domain_of_url
+from repro.ecosystem.messages import (
+    iter_world_messages,
+    messages_to_records,
+    render_message,
+    render_url,
+    sample_messages,
+)
+
+
+class TestRenderUrl:
+    def test_parseable_and_normalizes_back(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            url = render_url(rng, "pillstore.info")
+            assert try_domain_of_url(url) == "pillstore.info"
+
+    def test_affiliate_id_embedded(self):
+        rng = random.Random(2)
+        url = render_url(rng, "shop.biz", affiliate_id=42)
+        assert "aff=42" in url
+
+    def test_scheme_is_http(self):
+        rng = random.Random(3)
+        assert parse_url(render_url(rng, "x.com")).scheme == "http"
+
+
+class TestRenderMessage:
+    def test_primary_url_is_storefront(self, toy_world):
+        campaign = toy_world.campaigns[0]
+        placement = campaign.placements[0]
+        rng = random.Random(4)
+        message = render_message(rng, toy_world, campaign, placement, 100)
+        assert try_domain_of_url(message.primary_url) == placement.domain
+        assert message.campaign_id == campaign.campaign_id
+
+    def test_chaff_url_appended_when_forced(self, toy_world):
+        campaign = toy_world.campaigns[0]
+        campaign.chaff_probability = 1.0  # Campaign is a mutable dataclass
+        placement = campaign.placements[0]
+        rng = random.Random(5)
+        message = render_message(rng, toy_world, campaign, placement, 100)
+        assert len(message.urls) == 2
+        assert try_domain_of_url(message.urls[1]) == "megaportal.com"
+
+
+class TestSampleMessages:
+    def test_count_and_ordering(self, toy_world):
+        campaign = toy_world.campaigns[0]
+        messages = sample_messages(toy_world, campaign, 50, random.Random(6))
+        assert len(messages) == 50
+        times = [m.time for m in messages]
+        assert times == sorted(times)
+
+    def test_times_within_placements(self, toy_world):
+        campaign = toy_world.campaigns[0]
+        intervals = [
+            (p.start, p.end) for p in campaign.placements
+        ]
+        for message in sample_messages(
+            toy_world, campaign, 80, random.Random(7)
+        ):
+            assert any(s <= message.time < e for s, e in intervals)
+
+    def test_volume_proportional_sampling(self, toy_world):
+        campaign = toy_world.campaigns[0]  # volumes 50k vs 60k
+        messages = sample_messages(
+            toy_world, campaign, 2000, random.Random(8)
+        )
+        domains = [try_domain_of_url(m.primary_url) for m in messages]
+        first = domains.count("loudpills.com")
+        second = domains.count("loudpills2.net")
+        assert 0.6 < first / second < 1.1  # ~50/60
+
+    def test_negative_count_rejected(self, toy_world):
+        with pytest.raises(ValueError):
+            sample_messages(toy_world, toy_world.campaigns[0], -1,
+                            random.Random(0))
+
+
+class TestRecordConversion:
+    def test_records_match_urls(self, toy_world):
+        messages = sample_messages(
+            toy_world, toy_world.campaigns[1], 10, random.Random(9)
+        )
+        records = messages_to_records(messages)
+        assert len(records) >= 10
+        assert all(r.domain == "quietwatch.biz" for r in records[:10])
+
+    def test_iter_world_messages(self, toy_world):
+        messages = list(iter_world_messages(toy_world, per_campaign=5))
+        assert len(messages) == 10  # 2 campaigns x 5
+
+    def test_deterministic(self, toy_world):
+        a = list(iter_world_messages(toy_world, 5, seed=3))
+        b = list(iter_world_messages(toy_world, 5, seed=3))
+        assert a == b

@@ -1,0 +1,79 @@
+"""Unit tests for the domain registry."""
+
+import pytest
+
+from repro.ecosystem.registry import (
+    COVERED_TLDS,
+    Registry,
+    RegistryEntry,
+    tld_of,
+)
+
+
+class TestRegistryEntry:
+    def test_active_during_overlap(self):
+        entry = RegistryEntry("x.com", 100, 200)
+        assert entry.active_during(150, 160)
+        assert entry.active_during(0, 101)
+        assert entry.active_during(199, 300)
+
+    def test_inactive_outside_lifetime(self):
+        entry = RegistryEntry("x.com", 100, 200)
+        assert not entry.active_during(200, 300)
+        assert not entry.active_during(0, 100)
+
+    def test_never_dropped(self):
+        entry = RegistryEntry("x.com", 100)
+        assert entry.active_during(1_000_000, 2_000_000)
+
+    def test_rejects_drop_before_registration(self):
+        with pytest.raises(ValueError):
+            RegistryEntry("x.com", 100, 50)
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        reg = Registry()
+        reg.register("a.com", 10)
+        assert reg.is_registered("a.com")
+        assert "a.com" in reg
+        assert not reg.is_registered("b.com")
+
+    def test_reregistration_widens_lifetime(self):
+        reg = Registry()
+        reg.register("a.com", 100, 200)
+        reg.register("a.com", 50, 150)
+        entry = reg.entry("a.com")
+        assert entry.registered_at == 50
+        assert entry.dropped_at == 200
+
+    def test_reregistration_none_drop_wins(self):
+        reg = Registry()
+        reg.register("a.com", 100, 200)
+        reg.register("a.com", 150, None)
+        assert reg.entry("a.com").dropped_at is None
+
+    def test_len_and_iteration(self):
+        reg = Registry()
+        reg.register("a.com", 0)
+        reg.register("b.net", 0)
+        assert len(reg) == 2
+        assert set(reg.domains()) == {"a.com", "b.net"}
+
+    def test_missing_entry_is_none(self):
+        assert Registry().entry("nope.com") is None
+
+
+class TestTldOf:
+    def test_simple(self):
+        assert tld_of("example.com") == "com"
+
+    def test_multi_label(self):
+        assert tld_of("a.b.co.uk") == "uk"
+
+
+class TestCoveredTlds:
+    def test_paper_seven(self):
+        assert COVERED_TLDS == {
+            "com", "net", "org", "biz", "us", "aero", "info"
+        }

@@ -1,0 +1,90 @@
+"""Unit tests for World queries, using the hand-built toy world."""
+
+import pytest
+
+from repro.ecosystem.world import HostingRecord
+from repro.simtime import days
+
+
+class TestHostingRecord:
+    def test_live_within_window(self):
+        record = HostingRecord("x.com", 100, 200, None, None)
+        assert record.live_at(100)
+        assert record.live_at(199)
+        assert not record.live_at(200)
+        assert not record.live_at(99)
+
+    def test_dead_site_never_live(self):
+        record = HostingRecord("x.com", 100, 200, None, None, dead=True)
+        assert not record.live_at(150)
+
+
+class TestWorldIndexes:
+    def test_placements_by_domain(self, toy_world):
+        index = toy_world.placements_by_domain()
+        assert set(index) == {
+            "loudpills.com", "loudpills2.net", "quietwatch.biz"
+        }
+        campaign, placement = index["quietwatch.biz"][0]
+        assert campaign.campaign_id == 1
+        assert placement.volume == 400.0
+
+    def test_emitted_volume_by_domain(self, toy_world):
+        volumes = toy_world.emitted_volume_by_domain()
+        assert volumes["loudpills.com"] == 50_000.0
+        assert volumes["quietwatch.biz"] == 400.0
+
+    def test_advertised_domains(self, toy_world):
+        assert toy_world.advertised_domains() == {
+            "loudpills.com", "loudpills2.net", "quietwatch.biz"
+        }
+
+    def test_domain_interval(self, toy_world):
+        assert toy_world.domain_interval("loudpills.com") == (
+            days(10), days(20)
+        )
+
+    def test_domain_interval_unknown(self, toy_world):
+        with pytest.raises(KeyError):
+            toy_world.domain_interval("nope.com")
+
+    def test_campaign_by_id(self, toy_world):
+        assert toy_world.campaign_by_id(1).program_id == 1
+        with pytest.raises(KeyError):
+            toy_world.campaign_by_id(99)
+
+
+class TestGroundTruthLookups:
+    def test_truth_program_of_storefront(self, toy_world):
+        assert toy_world.truth_program_of("loudpills.com") == 0
+        assert toy_world.truth_program_of("quietwatch.biz") == 1
+
+    def test_truth_program_of_redirector(self, toy_world):
+        assert toy_world.truth_program_of("shortlink.us") == 0
+
+    def test_truth_program_of_benign(self, toy_world):
+        assert toy_world.truth_program_of("megaportal.com") is None
+
+    def test_truth_affiliate_of(self, toy_world):
+        assert toy_world.truth_affiliate_of("loudpills.com") == 0
+        assert toy_world.truth_affiliate_of("shortlink.us") == 0
+        assert toy_world.truth_affiliate_of("bignews.org") is None
+
+    def test_rx_program_id(self, toy_world):
+        assert toy_world.rx_program_id() == 0
+
+    def test_is_dga(self, toy_world):
+        assert not toy_world.is_dga("loudpills.com")
+
+    def test_monitored_botnets(self, toy_world):
+        assert toy_world.monitored_botnet_ids() == {0}
+
+
+class TestSummary:
+    def test_summary_counts(self, toy_world):
+        summary = toy_world.summary()
+        assert summary["campaigns"] == 2
+        assert summary["tagged_campaigns"] == 2
+        assert summary["advertised_domains"] == 3
+        assert summary["dga_domains"] == 0
+        assert summary["total_emitted_volume"] == 110_400.0

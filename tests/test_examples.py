@@ -1,0 +1,59 @@
+"""Smoke tests: the example scripts must run end-to-end.
+
+Each example runs as a subprocess on the miniature world; these guard
+the public API the examples exercise (a broken example is a broken
+quickstart experience even when the library tests pass).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args, timeout=180):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "--small", "--seed", "7")
+        assert result.returncode == 0, result.stderr
+        assert "Table 1" in result.stdout
+        assert "Headline check" in result.stdout
+
+    def test_feed_evaluation(self):
+        result = run_example("feed_evaluation.py", "--small", "--seed", "7")
+        assert result.returncode == 0, result.stderr
+        assert "Purity of mx-new" in result.stdout
+        assert "Variation distance" in result.stdout
+
+    def test_external_feeds(self):
+        result = run_example("external_feeds.py", "--seed", "7")
+        assert result.returncode == 0, result.stderr
+        assert "Round-trip analysis identical" in result.stdout
+
+    def test_choose_your_feeds(self):
+        result = run_example(
+            "choose_your_feeds.py", "--small", "--seed", "7", "--budget", "2"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Best feed per research question" in result.stdout
+        assert "Diverse portfolio" in result.stdout
+
+    @pytest.mark.slow
+    def test_blacklist_latency_study(self):
+        result = run_example(
+            "blacklist_latency_study.py", "--small", "--seed", "7",
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "latency sweep" in result.stdout

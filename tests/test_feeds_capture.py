@@ -1,0 +1,211 @@
+"""Unit and property tests for the capture machinery."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecosystem.entities import (
+    AddressStrategy,
+    Campaign,
+    CampaignClass,
+    DomainPlacement,
+)
+from repro.feeds.capture import (
+    REAL_USER_REACH,
+    campaign_inclusion,
+    capture_campaign,
+    capture_placement,
+    delivered_placement_volume,
+    delivered_real_user_volume,
+    exponential_delay,
+    incoming_placement_volume,
+    poisson,
+    scatter_records,
+)
+
+
+def make_campaign(volume=1000.0, start=0, end=1000, lag=0, evasion=0.5,
+                  strategy=AddressStrategy.BRUTE_FORCE, chaff=0.0):
+    return Campaign(
+        campaign_id=0,
+        campaign_class=CampaignClass.DIRECT_BROADCAST,
+        strategy=strategy,
+        placements=[
+            DomainPlacement("x.com", start, end, volume, broadcast_lag=lag)
+        ],
+        filter_evasion=evasion,
+        chaff_probability=chaff,
+    )
+
+
+class TestPoisson:
+    def test_zero_lambda(self):
+        assert poisson(random.Random(0), 0.0) == 0
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            poisson(random.Random(0), -1.0)
+
+    def test_small_mean_accuracy(self):
+        rng = random.Random(1)
+        draws = [poisson(rng, 2.5) for _ in range(4000)]
+        mean = sum(draws) / len(draws)
+        assert 2.3 < mean < 2.7
+
+    def test_large_mean_accuracy(self):
+        rng = random.Random(2)
+        draws = [poisson(rng, 400.0) for _ in range(500)]
+        mean = sum(draws) / len(draws)
+        assert 390 < mean < 410
+
+    @given(st.floats(0.0, 200.0), st.integers(0, 2**32 - 1))
+    @settings(max_examples=80)
+    def test_property_non_negative(self, lam, seed):
+        assert poisson(random.Random(seed), lam) >= 0
+
+
+class TestScatterRecords:
+    def test_count_and_interval(self):
+        records = scatter_records(random.Random(3), "a.com", 50, 100, 200)
+        assert len(records) == 50
+        for record in records:
+            assert record.domain == "a.com"
+            assert 100 <= record.time < 200
+
+    def test_zero_count(self):
+        assert scatter_records(random.Random(0), "a.com", 0, 0, 10) == []
+
+    def test_delay_applied(self):
+        records = scatter_records(
+            random.Random(4), "a.com", 20, 100, 101, delay=lambda r: 1000.0
+        )
+        assert all(r.time >= 1100 for r in records)
+
+
+class TestCapturePlacement:
+    def test_zero_exposure(self):
+        p = DomainPlacement("a.com", 0, 100, 1000.0)
+        assert capture_placement(random.Random(0), p, 0.0) == []
+
+    def test_expected_count_scales_with_exposure(self):
+        p = DomainPlacement("a.com", 0, 1000, 10_000.0)
+        rng = random.Random(5)
+        n = len(capture_placement(rng, p, 0.1))
+        assert 900 < n < 1100
+
+    def test_cap_respected(self):
+        p = DomainPlacement("a.com", 0, 1000, 10_000.0)
+        records = capture_placement(random.Random(6), p, 1.0, cap=17)
+        assert len(records) == 17
+
+    def test_not_before_truncates(self):
+        p = DomainPlacement("a.com", 0, 1000, 10_000.0)
+        records = capture_placement(
+            random.Random(7), p, 0.1, not_before=900
+        )
+        assert all(r.time >= 900 for r in records)
+        # Visible fraction is 10%, so roughly 100 records, not 1000.
+        assert len(records) < 200
+
+    def test_not_before_past_end_skips(self):
+        p = DomainPlacement("a.com", 0, 100, 1000.0)
+        assert capture_placement(
+            random.Random(8), p, 1.0, not_before=100
+        ) == []
+
+
+class TestCaptureCampaign:
+    def test_basic_capture(self):
+        records = capture_campaign(
+            random.Random(9), make_campaign(volume=5000), 0.1
+        )
+        assert 400 < len(records) < 600
+
+    def test_broadcast_lag_respected(self):
+        campaign = make_campaign(volume=5000, start=0, end=1000, lag=500)
+        records = capture_campaign(
+            random.Random(10), campaign, 0.1, respect_broadcast_lag=True
+        )
+        assert records
+        assert all(r.time >= 500 for r in records)
+
+    def test_broadcast_lag_ignored_by_default(self):
+        campaign = make_campaign(volume=5000, start=0, end=1000, lag=500)
+        records = capture_campaign(random.Random(11), campaign, 0.1)
+        assert any(r.time < 500 for r in records)
+
+    def test_chaff_added(self):
+        campaign = make_campaign(volume=5000, chaff=1.0)
+        records = capture_campaign(
+            random.Random(12),
+            campaign,
+            0.05,
+            chaff_sampler=lambda rng: "chaff.org",
+            chaff_probability=1.0,
+        )
+        domains = {r.domain for r in records}
+        assert domains == {"x.com", "chaff.org"}
+        chaff_count = sum(1 for r in records if r.domain == "chaff.org")
+        spam_count = len(records) - chaff_count
+        assert chaff_count == spam_count
+
+    def test_onset_fraction_shifts_start(self):
+        campaign = make_campaign(volume=20_000, start=0, end=1000)
+        early_times = []
+        for seed in range(5):
+            records = capture_campaign(
+                random.Random(seed), campaign, 0.05,
+                onset_max_fraction=0.9,
+            )
+            if records:
+                early_times.append(min(r.time for r in records))
+        assert any(t > 50 for t in early_times)
+
+
+class TestDeliveryModels:
+    def test_reach_ordering(self):
+        # Purchased/social lists are all real users; brute force wastes
+        # most of its addresses.
+        assert (
+            REAL_USER_REACH[AddressStrategy.PURCHASED]
+            > REAL_USER_REACH[AddressStrategy.BRUTE_FORCE]
+        )
+
+    def test_delivered_volume_uses_evasion(self):
+        campaign = make_campaign(volume=1000, evasion=0.5)
+        placement = campaign.placements[0]
+        delivered = delivered_placement_volume(campaign, placement)
+        assert delivered == 1000 * 0.6 * 0.5
+
+    def test_incoming_volume_ignores_evasion(self):
+        campaign = make_campaign(volume=1000, evasion=0.5)
+        placement = campaign.placements[0]
+        assert incoming_placement_volume(campaign, placement) == 600.0
+
+    def test_campaign_level_delivered(self):
+        campaign = make_campaign(volume=1000, evasion=0.5)
+        assert delivered_real_user_volume(campaign) == 300.0
+
+
+class TestInclusionAndDelay:
+    def test_inclusion_extremes(self):
+        rng = random.Random(0)
+        assert not campaign_inclusion(rng, 0.0)
+        assert campaign_inclusion(rng, 1.0)
+
+    def test_inclusion_probability(self):
+        rng = random.Random(13)
+        hits = sum(campaign_inclusion(rng, 0.3) for _ in range(5000))
+        assert 1300 < hits < 1700
+
+    def test_exponential_delay_mean(self):
+        sampler = exponential_delay(100.0)
+        rng = random.Random(14)
+        draws = [sampler(rng) for _ in range(5000)]
+        assert 90 < sum(draws) / len(draws) < 110
+
+    def test_exponential_delay_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            exponential_delay(0.0)

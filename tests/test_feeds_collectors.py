@@ -1,0 +1,334 @@
+"""Unit tests for the ten feed collectors, over the small world."""
+
+import pytest
+
+from repro.ecosystem.entities import AddressStrategy, CampaignClass
+from repro.feeds import (
+    BlacklistConfig,
+    BlacklistFeed,
+    BotnetFeed,
+    BotnetFeedConfig,
+    FeedType,
+    HoneyAccountConfig,
+    HoneyAccountFeed,
+    HumanFeedConfig,
+    HumanIdentifiedFeed,
+    HybridFeed,
+    HybridFeedConfig,
+    MxHoneypotConfig,
+    MxHoneypotFeed,
+    PAPER_FEED_ORDER,
+    collect_all,
+    standard_feed_suite,
+)
+
+SEED = 7
+
+
+class TestMxHoneypot:
+    def test_brute_force_only_without_harvest(self, small_world):
+        feed = MxHoneypotFeed(
+            MxHoneypotConfig(
+                name="t-mx", inclusion_probability=1.0, catch_rate=0.05,
+                benign_fp_domains=0, chaff_factor=0.0,
+            ),
+            SEED,
+        )
+        dataset = feed.collect(small_world)
+        brute_domains = set()
+        for c in small_world.campaigns:
+            if (
+                c.strategy is AddressStrategy.BRUTE_FORCE
+                and c.campaign_class is not CampaignClass.DGA_POISON
+            ):
+                brute_domains.update(c.domains)
+        assert dataset.unique_domains() <= brute_domains
+
+    def test_dga_only_if_configured(self, small_world):
+        base = dict(
+            name="t", inclusion_probability=0.5, catch_rate=0.01,
+            benign_fp_domains=0, chaff_factor=0.0,
+        )
+        blind = MxHoneypotFeed(MxHoneypotConfig(**base), SEED)
+        seeing = MxHoneypotFeed(
+            MxHoneypotConfig(**base, sees_dga=True, dga_catch_rate=0.05),
+            SEED,
+        )
+        blind_ds = blind.collect(small_world)
+        seeing_ds = seeing.collect(small_world)
+        dga = small_world.dga_domains
+        assert not (blind_ds.unique_domains() & dga)
+        assert seeing_ds.unique_domains() & dga
+
+    def test_benign_leakage_injected(self, small_world):
+        feed = MxHoneypotFeed(
+            MxHoneypotConfig(
+                name="t", inclusion_probability=0.0, catch_rate=0.0,
+                benign_fp_domains=10, benign_fp_volume=50.0,
+            ),
+            SEED,
+        )
+        dataset = feed.collect(small_world)
+        benign = small_world.benign.alexa_set | set(
+            small_world.benign.newsletter_domains
+        )
+        assert dataset.unique_domains() <= benign
+        assert 1 <= dataset.n_unique <= 10
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MxHoneypotConfig(name="t", inclusion_probability=1.5,
+                             catch_rate=0.1)
+        with pytest.raises(ValueError):
+            MxHoneypotConfig(name="t", inclusion_probability=0.5,
+                             catch_rate=-0.1)
+
+
+class TestHoneyAccount:
+    def test_never_sees_purchased_or_social(self, small_world):
+        feed = HoneyAccountFeed(
+            HoneyAccountConfig(
+                name="t-ac", harvested_inclusion=1.0, brute_inclusion=1.0,
+                catch_rate=0.05, benign_fp_domains=0, chaff_factor=0.0,
+            ),
+            SEED,
+        )
+        dataset = feed.collect(small_world)
+        invisible = set()
+        for c in small_world.campaigns:
+            if c.strategy in (
+                AddressStrategy.PURCHASED, AddressStrategy.SOCIAL
+            ):
+                invisible.update(c.domains)
+        visible = dataset.unique_domains()
+        # Domains exclusively advertised by invisible campaigns never
+        # appear (shared redirector domains may).
+        benign = small_world.benign.all_benign
+        assert not (visible & (invisible - benign))
+
+    def test_never_sees_dga(self, small_world):
+        feed = HoneyAccountFeed(
+            HoneyAccountConfig(
+                name="t-ac", harvested_inclusion=1.0, brute_inclusion=1.0,
+                catch_rate=0.1, benign_fp_domains=0,
+            ),
+            SEED,
+        )
+        dataset = feed.collect(small_world)
+        assert not (dataset.unique_domains() & small_world.dga_domains)
+
+    def test_volume_bias_reduces_campaigns(self, small_world):
+        base = dict(
+            name="t", harvested_inclusion=0.9, brute_inclusion=0.9,
+            catch_rate=0.02, benign_fp_domains=0, chaff_factor=0.0,
+        )
+        unbiased = HoneyAccountFeed(HoneyAccountConfig(**base), SEED)
+        biased = HoneyAccountFeed(
+            HoneyAccountConfig(**base, volume_bias_scale=50_000.0), SEED
+        )
+        assert (
+            biased.collect(small_world).n_unique
+            < unbiased.collect(small_world).n_unique
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HoneyAccountConfig(name="t", harvested_inclusion=2.0,
+                               brute_inclusion=0.1, catch_rate=0.1)
+
+
+class TestBotnetFeed:
+    def test_only_monitored_botnet_output(self, small_world):
+        feed = BotnetFeed(
+            BotnetFeedConfig(monitor_fraction=0.05, chaff_factor=0.0), SEED
+        )
+        dataset = feed.collect(small_world)
+        monitored = small_world.monitored_botnet_ids()
+        allowed = set()
+        for c in small_world.campaigns:
+            if c.botnet_id in monitored:
+                allowed.update(c.domains)
+        assert dataset.unique_domains() <= allowed
+
+    def test_dga_flood_present(self, small_world):
+        feed = BotnetFeed(
+            BotnetFeedConfig(monitor_fraction=0.02, dga_monitor_factor=3.0),
+            SEED,
+        )
+        dataset = feed.collect(small_world)
+        dga_seen = dataset.unique_domains() & small_world.dga_domains
+        assert len(dga_seen) > 0.2 * len(small_world.dga_domains)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BotnetFeedConfig(monitor_fraction=-0.1)
+
+
+class TestHumanFeed:
+    def test_suppression_caps_per_domain_counts(self, small_world):
+        low_cap = HumanIdentifiedFeed(
+            HumanFeedConfig(suppression_cap_mean=1.0, junk_domains=0,
+                            newsletter_fp_domains=0),
+            SEED,
+        ).collect(small_world)
+        counts = low_cap.domain_counts()
+        # With cap mean 1 nearly every domain appears once or twice.
+        heavy = [d for d, c in counts.items() if c > 5]
+        assert len(heavy) < 0.02 * max(1, len(counts))
+
+    def test_junk_and_newsletters_injected(self, small_world):
+        dataset = HumanIdentifiedFeed(
+            HumanFeedConfig(junk_domains=50, newsletter_fp_domains=10),
+            SEED,
+        ).collect(small_world)
+        junk_seen = dataset.unique_domains() & set(small_world.junk_domains)
+        assert len(junk_seen) == 50
+
+    def test_sees_quiet_campaigns(self, small_world):
+        dataset = HumanIdentifiedFeed(HumanFeedConfig(), SEED).collect(
+            small_world
+        )
+        quiet_domains = set()
+        for c in small_world.campaigns:
+            if c.campaign_class is CampaignClass.QUIET_TARGETED:
+                quiet_domains.update(c.domains)
+        seen = dataset.unique_domains() & quiet_domains
+        # The provider catches most quiet campaigns; honeypots (tested
+        # via the integration shapes) catch almost none.
+        assert len(seen) > 0.4 * len(quiet_domains)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HumanFeedConfig(provider_share=0.0)
+        with pytest.raises(ValueError):
+            HumanFeedConfig(report_rate=1.5)
+        with pytest.raises(ValueError):
+            HumanFeedConfig(suppression_cap_mean=0.5)
+
+    def test_no_volume_information(self, small_world):
+        dataset = HumanIdentifiedFeed(HumanFeedConfig(), SEED).collect(
+            small_world
+        )
+        assert not dataset.has_volume
+
+
+class TestBlacklistFeed:
+    def make(self, **overrides):
+        params = dict(
+            name="t-bl",
+            broad_volume_scale=500.0,
+            user_volume_scale=100.0,
+            user_weight=1.0,
+            latency_mean_minutes=300.0,
+            benign_fp_domains=0,
+        )
+        params.update(overrides)
+        return BlacklistFeed(BlacklistConfig(**params), SEED)
+
+    def test_one_record_per_domain(self, small_world):
+        dataset = self.make().collect(small_world)
+        assert dataset.total_samples == dataset.n_unique
+        assert not dataset.has_volume
+
+    def test_never_lists_unregistered(self, small_world):
+        dataset = self.make().collect(small_world)
+        for domain in dataset.unique_domains():
+            assert small_world.registry.is_registered(domain)
+
+    def test_no_dga_listings(self, small_world):
+        dataset = self.make().collect(small_world)
+        dga_registered = {
+            d for d in small_world.dga_domains
+            if small_world.registry.is_registered(d)
+        }
+        # Registered DGA collisions are possible but the flood is not.
+        assert (
+            dataset.unique_domains() & small_world.dga_domains
+        ) <= dga_registered
+
+    def test_listing_after_first_advertisement(self, small_world):
+        dataset = self.make().collect(small_world)
+        index = small_world.placements_by_domain()
+        for domain, listed_at in dataset.first_seen().items():
+            if domain not in index:
+                continue  # benign false positive
+            first_advertised = min(p.start for _, p in index[domain])
+            assert listed_at >= first_advertised
+
+    def test_benign_false_positives(self, small_world):
+        dataset = self.make(
+            broad_volume_scale=1e12, user_volume_scale=1e12,
+            benign_fp_domains=7,
+        ).collect(small_world)
+        benign = small_world.benign.alexa_set | small_world.benign.odp_domains
+        assert len(dataset.unique_domains() & benign) == 7
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BlacklistConfig(name="t", broad_volume_scale=0.0,
+                            user_volume_scale=1.0, user_weight=0.5,
+                            latency_mean_minutes=60.0)
+        with pytest.raises(ValueError):
+            BlacklistConfig(name="t", broad_volume_scale=1.0,
+                            user_volume_scale=1.0, user_weight=2.0,
+                            latency_mean_minutes=60.0)
+
+
+class TestHybridFeed:
+    def test_webspam_domains_present(self, small_world):
+        dataset = HybridFeed(HybridFeedConfig(), SEED).collect(small_world)
+        webspam_seen = dataset.unique_domains() & set(small_world.hyb_webspam)
+        assert len(webspam_seen) == len(small_world.hyb_webspam)
+
+    def test_no_volume_information(self, small_world):
+        dataset = HybridFeed(HybridFeedConfig(), SEED).collect(small_world)
+        assert not dataset.has_volume
+
+    def test_volume_penalty_reduces_loud_inclusion(self):
+        cfg = HybridFeedConfig()
+        feed = HybridFeed(cfg, SEED)
+        assert feed._inclusion_probability(100.0) == cfg.domain_inclusion
+        assert (
+            feed._inclusion_probability(1e6)
+            < 0.2 * cfg.domain_inclusion
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HybridFeedConfig(domain_inclusion=1.5)
+        with pytest.raises(ValueError):
+            HybridFeedConfig(volume_penalty_scale=0.0)
+
+
+class TestSuite:
+    def test_standard_suite_names(self):
+        names = [c.name for c in standard_feed_suite(SEED)]
+        assert sorted(names) == sorted(PAPER_FEED_ORDER)
+
+    def test_collect_all_keys(self, small_world, small_datasets):
+        assert set(small_datasets) == set(PAPER_FEED_ORDER)
+
+    def test_collect_all_rejects_duplicates(self, small_world):
+        suite = standard_feed_suite(SEED)
+        with pytest.raises(ValueError):
+            collect_all(small_world, suite + [suite[0]])
+
+    def test_feed_types(self, small_datasets):
+        assert small_datasets["Hu"].feed_type is FeedType.HUMAN_IDENTIFIED
+        assert small_datasets["dbl"].feed_type is FeedType.BLACKLIST
+        assert small_datasets["uribl"].feed_type is FeedType.BLACKLIST
+        assert small_datasets["mx1"].feed_type is FeedType.MX_HONEYPOT
+        assert small_datasets["Ac1"].feed_type is FeedType.HONEY_ACCOUNT
+        assert small_datasets["Bot"].feed_type is FeedType.BOTNET
+        assert small_datasets["Hyb"].feed_type is FeedType.HYBRID
+
+    def test_collection_deterministic(self, small_world):
+        a = collect_all(small_world, standard_feed_suite(SEED))
+        b = collect_all(small_world, standard_feed_suite(SEED))
+        for name in a:
+            assert a[name].records == b[name].records
+
+    def test_volume_flags_match_paper(self, small_datasets):
+        # Section 4.3: Hu, Hyb and the blacklists carry no volume info.
+        without = {n for n, d in small_datasets.items() if not d.has_volume}
+        assert without == {"Hu", "Hyb", "dbl", "uribl"}

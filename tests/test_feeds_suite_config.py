@@ -1,0 +1,74 @@
+"""Tests on the configured paper suite itself (apparatus properties)."""
+
+from repro.feeds import standard_feed_suite
+from repro.feeds.blacklist import BlacklistFeed
+from repro.feeds.botnet import BotnetFeed
+from repro.feeds.honey_account import HoneyAccountFeed
+from repro.feeds.human import HumanIdentifiedFeed
+from repro.feeds.hybrid import HybridFeed
+from repro.feeds.mx_honeypot import MxHoneypotFeed
+
+
+def suite_by_name(seed=1):
+    return {c.name: c for c in standard_feed_suite(seed)}
+
+
+class TestSuiteComposition:
+    def test_counts_by_type(self):
+        suite = standard_feed_suite(1)
+        assert sum(isinstance(c, MxHoneypotFeed) for c in suite) == 3
+        assert sum(isinstance(c, HoneyAccountFeed) for c in suite) == 2
+        assert sum(isinstance(c, BlacklistFeed) for c in suite) == 2
+        assert sum(isinstance(c, BotnetFeed) for c in suite) == 1
+        assert sum(isinstance(c, HumanIdentifiedFeed) for c in suite) == 1
+        assert sum(isinstance(c, HybridFeed) for c in suite) == 1
+
+    def test_only_mx2_sees_dga(self):
+        feeds = suite_by_name()
+        assert feeds["mx2"].config.sees_dga
+        assert not feeds["mx1"].config.sees_dga
+        assert not feeds["mx3"].config.sees_dga
+
+    def test_mx2_largest_portfolio(self):
+        feeds = suite_by_name()
+        rates = {
+            name: feeds[name].config.catch_rate
+            for name in ("mx1", "mx2", "mx3")
+        }
+        assert max(rates, key=rates.get) == "mx2"
+
+    def test_ac2_is_the_odd_network(self):
+        feeds = suite_by_name()
+        ac1, ac2 = feeds["Ac1"].config, feeds["Ac2"].config
+        assert ac2.volume_bias_scale > 0 and ac1.volume_bias_scale == 0
+        assert ac2.catch_jitter_sigma > 0 and ac1.catch_jitter_sigma == 0
+        assert ac2.harvested_inclusion < ac1.harvested_inclusion
+
+    def test_dbl_leans_on_user_reports(self):
+        feeds = suite_by_name()
+        dbl, uribl = feeds["dbl"].config, feeds["uribl"].config
+        assert dbl.user_weight > uribl.user_weight
+        assert dbl.user_volume_scale < uribl.user_volume_scale
+        assert dbl.latency_mean_minutes < uribl.latency_mean_minutes
+
+    def test_blacklists_cleanest_fp_budget(self):
+        feeds = suite_by_name()
+        blacklist_fp = max(
+            feeds["dbl"].config.benign_fp_domains,
+            feeds["uribl"].config.benign_fp_domains,
+        )
+        honeypot_fp = min(
+            feeds[name].config.benign_fp_domains
+            for name in ("mx1", "mx3", "Ac1")
+        )
+        assert blacklist_fp < honeypot_fp
+
+    def test_honeypots_respect_broadcast_lag(self):
+        feeds = suite_by_name()
+        for name in ("mx1", "mx2", "mx3", "Ac1", "Ac2"):
+            assert 0.0 < feeds[name].config.onset_max_fraction < 0.5
+
+    def test_seed_threaded_to_collectors(self):
+        a = {c.name: c for c in standard_feed_suite(5)}
+        b = {c.name: c for c in standard_feed_suite(5)}
+        assert a["mx1"]._rng("x").random() == b["mx1"]._rng("x").random()

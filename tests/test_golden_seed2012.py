@@ -1,0 +1,60 @@
+"""Golden regression tests for the calibrated default (seed 2012).
+
+The shape tests tolerate ranges; these pin exact values so that any
+change to the generator, capture models or RNG derivation is caught
+immediately.  If a change is intentional (re-calibration), update these
+numbers together with EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def table1(paper_pipeline):
+    return paper_pipeline.table1()
+
+
+class TestGoldenTable1:
+    def test_sample_counts(self, table1):
+        assert table1["Hu"]["samples"] == 21_912
+        assert table1["mx2"]["samples"] == 190_967
+        assert table1["Hyb"]["samples"] == 509_132
+
+    def test_unique_counts(self, table1):
+        assert table1["Hu"]["unique"] == 15_988
+        assert table1["dbl"]["unique"] == 4_736
+        assert table1["uribl"]["unique"] == 1_852
+        assert table1["Bot"]["unique"] == 53_953
+
+
+class TestGoldenTable3(object):
+    def test_tagged_counts(self, paper_pipeline):
+        rows = {r.feed: r for r in paper_pipeline.table3()}
+        assert rows["Hu"].total_tagged == 1_438
+        assert rows["Hu"].exclusive_tagged == 292
+        assert rows["Bot"].exclusive_tagged == 0
+
+    def test_live_counts(self, paper_pipeline):
+        rows = {r.feed: r for r in paper_pipeline.table3()}
+        assert rows["Hyb"].total_live == 10_503
+        assert rows["Hyb"].exclusive_live == 6_473
+
+
+class TestGoldenMatrices:
+    def test_tagged_union_size(self, paper_pipeline):
+        assert paper_pipeline.figure2("tagged").union_size == 1_833
+
+    def test_program_union(self, paper_pipeline):
+        assert paper_pipeline.figure4().union_size == 43
+
+    def test_bot_rx_affiliates(self, paper_pipeline):
+        # Exactly the paper's count: 3 RX identifiers in the Bot feed.
+        assert paper_pipeline.figure5().intersection("Bot", "All") == 3
+
+
+class TestGoldenProportionality:
+    def test_mx2_mail_distance(self, paper_pipeline):
+        from repro.analysis.proportionality import MAIL
+
+        vd = paper_pipeline.figure7()
+        assert vd["mx2"][MAIL] == pytest.approx(0.7359, abs=0.02)

@@ -1,0 +1,136 @@
+"""Unit tests for URL-feed ingestion and provider-style dedup."""
+
+import json
+
+import pytest
+
+from repro.feeds.base import FeedDataset, FeedRecord, FeedType
+from repro.io.url_ingest import (
+    IngestStats,
+    dedup_within_window,
+    ingest_url_file,
+    ingest_url_lines,
+    normalize_record,
+)
+
+
+def lines(*objects):
+    return [json.dumps(o) for o in objects]
+
+
+class TestNormalizeRecord:
+    def test_url_record(self):
+        record, reason = normalize_record(
+            {"url": "http://www.pills.example.com/x", "t": 5}
+        )
+        assert reason == "ok"
+        assert record == FeedRecord("example.com", 5)
+
+    def test_host_record(self):
+        record, reason = normalize_record({"host": "a.b.shop.biz", "t": 9})
+        assert reason == "ok"
+        assert record == FeedRecord("shop.biz", 9)
+
+    def test_missing_time(self):
+        record, reason = normalize_record({"url": "http://x.com/"})
+        assert record is None
+        assert reason == "missing_fields"
+
+    def test_bad_url(self):
+        record, reason = normalize_record({"url": "ftp://x.com/", "t": 1})
+        assert record is None
+        assert reason == "unparseable_url"
+
+    def test_bad_host(self):
+        record, reason = normalize_record({"host": "not valid", "t": 1})
+        assert record is None
+        assert reason == "unparseable_host"
+
+    def test_neither_field(self):
+        record, reason = normalize_record({"t": 1})
+        assert record is None
+        assert reason == "missing_fields"
+
+
+class TestIngestLines:
+    def test_mixed_input(self):
+        dataset, stats = ingest_url_lines(
+            lines(
+                {"url": "http://spam1.com/a", "t": 1},
+                {"url": "http://spam1.com/b", "t": 2},
+                {"host": "spam2.net", "t": 3},
+                {"url": "http://10.0.0.1/", "t": 4},
+                {"t": 5},
+            )
+            + ["{broken json", ""],
+            name="provider-x",
+        )
+        assert dataset.total_samples == 3
+        assert dataset.unique_domains() == {"spam1.com", "spam2.net"}
+        assert stats.accepted == 3
+        assert stats.unparseable_url == 1
+        assert stats.missing_fields == 1
+        assert stats.bad_json == 1
+        assert stats.total == 6
+        assert 0.0 < stats.drop_fraction < 1.0
+
+    def test_non_dict_json(self):
+        _, stats = ingest_url_lines(['["a", "list"]'], name="x")
+        assert stats.bad_json == 1
+
+    def test_empty_input(self):
+        dataset, stats = ingest_url_lines([], name="x")
+        assert dataset.total_samples == 0
+        assert stats.total == 0
+        assert stats.drop_fraction == 0.0
+
+    def test_feed_metadata(self):
+        dataset, _ = ingest_url_lines(
+            lines({"url": "http://a.com/", "t": 1}),
+            name="bl",
+            feed_type=FeedType.BLACKLIST,
+            has_volume=False,
+        )
+        assert dataset.feed_type is FeedType.BLACKLIST
+        assert not dataset.has_volume
+
+    def test_ingest_file(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text(
+            "\n".join(lines({"url": "http://a.example.org/", "t": 7}))
+        )
+        dataset, stats = ingest_url_file(str(path), name="f")
+        assert dataset.unique_domains() == {"example.org"}
+        assert stats.accepted == 1
+
+
+class TestDedup:
+    def make_dataset(self, times, domain="a.com"):
+        return FeedDataset(
+            "x",
+            FeedType.MX_HONEYPOT,
+            [FeedRecord(domain, t) for t in times],
+        )
+
+    def test_window_collapses_repeats(self):
+        dataset = self.make_dataset([0, 5, 9, 20, 22])
+        deduped = dedup_within_window(dataset, 10)
+        assert [r.time for r in deduped.records] == [0, 20]
+
+    def test_distinct_domains_independent(self):
+        dataset = FeedDataset(
+            "x",
+            FeedType.MX_HONEYPOT,
+            [FeedRecord("a.com", 0), FeedRecord("b.com", 1)],
+        )
+        deduped = dedup_within_window(dataset, 100)
+        assert deduped.total_samples == 2
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            dedup_within_window(self.make_dataset([0]), 0)
+
+    def test_stats_dataclass(self):
+        stats = IngestStats(accepted=3, bad_json=1)
+        assert stats.total == 4
+        assert stats.drop_fraction == 0.25

@@ -1,0 +1,95 @@
+"""Robustness across seeds: structural invariants must hold for any world.
+
+The calibrated shape tests pin seed 2012; these tests build several
+miniature worlds with different seeds and assert the invariants that
+must hold regardless of randomness -- the difference between a
+calibration artifact and a structural property.
+"""
+
+import pytest
+
+from repro.analysis import FeedComparison, purity_table
+from repro.analysis.coverage import coverage_table
+from repro.ecosystem import build_world, small_config
+from repro.feeds import collect_all, standard_feed_suite
+
+SEEDS = (11, 222, 3333)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_comparison(request):
+    seed = request.param
+    world = build_world(small_config(), seed=seed)
+    datasets = collect_all(world, standard_feed_suite(seed))
+    return world, FeedComparison(world, datasets, seed=seed)
+
+
+class TestStructuralInvariants:
+    def test_blacklists_subset_of_base_union(self, seeded_comparison):
+        _, comparison = seeded_comparison
+        base_union = comparison.union_domains(comparison.base_feed_names)
+        for blacklist in comparison.blacklist_names:
+            assert comparison.unique_domains(blacklist) <= base_union
+
+    def test_tagged_subset_of_live_subset_of_all(self, seeded_comparison):
+        _, comparison = seeded_comparison
+        for feed in comparison.feed_names:
+            tagged = comparison.tagged_domains(feed)
+            live = comparison.live_domains(feed)
+            assert tagged <= live <= comparison.unique_domains(feed)
+
+    def test_purity_fractions_bounded(self, seeded_comparison):
+        _, comparison = seeded_comparison
+        for row in purity_table(comparison):
+            for value in (row.dns, row.http, row.tagged, row.odp, row.alexa):
+                assert 0.0 <= value <= 1.0
+            assert row.tagged <= row.http + 1e-9
+
+    def test_exclusive_counts_consistent(self, seeded_comparison):
+        _, comparison = seeded_comparison
+        rows = coverage_table(comparison)
+        union_live = comparison.all_live()
+        total_exclusive = sum(r.exclusive_live for r in rows)
+        assert total_exclusive <= len(union_live)
+
+    def test_live_domains_really_crawled_alive(self, seeded_comparison):
+        _, comparison = seeded_comparison
+        results = comparison.crawl_results()
+        for feed in comparison.feed_names:
+            for domain in comparison.live_domains(feed):
+                assert results[domain].http_ok
+
+    def test_tagged_domains_have_truth_program(self, seeded_comparison):
+        world, comparison = seeded_comparison
+        results = comparison.crawl_results()
+        for feed in comparison.feed_names:
+            for domain in comparison.tagged_domains(feed):
+                program = results[domain].program_id
+                assert program is not None
+                assert program in world.programs
+
+    def test_dga_never_live(self, seeded_comparison):
+        world, comparison = seeded_comparison
+        results = comparison.crawl_results()
+        for domain, verdict in results.items():
+            if world.is_dga(domain) and verdict.http_ok:
+                # Only the parked-collision sliver may be live, and it
+                # must never be tagged.
+                assert world.registry.is_registered(domain)
+                assert not verdict.tagged
+
+    def test_record_times_inside_window(self, seeded_comparison):
+        world, comparison = seeded_comparison
+        tl = world.timeline
+        for feed in comparison.feed_names:
+            for record in comparison.datasets[feed].records:
+                assert tl.start <= record.time < tl.end
+
+    def test_mail_oracle_normalization(self, seeded_comparison):
+        _, comparison = seeded_comparison
+        domains = sorted(comparison.all_live())[:200]
+        if not domains:
+            pytest.skip("no live domains in this seed")
+        report = comparison.mail.query(domains)
+        assert max(report.values()) <= 1.0
+        assert all(v >= 0.0 for v in report.values())

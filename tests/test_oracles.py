@@ -1,0 +1,221 @@
+"""Unit tests for the four measurement oracles, over the toy world."""
+
+import pytest
+
+from repro.oracles import (
+    AlexaList,
+    CrawlOracle,
+    IncomingMailOracle,
+    OdpDirectory,
+    ZoneOracle,
+)
+from repro.oracles.weblists import benign_listed
+from repro.simtime import days
+
+
+class TestZoneOracle:
+    def test_registered_spam_domain(self, toy_world):
+        oracle = ZoneOracle.from_world(toy_world)
+        assert oracle.in_zone("loudpills.com") is True
+
+    def test_unregistered_domain(self, toy_world):
+        oracle = ZoneOracle.from_world(toy_world)
+        assert oracle.in_zone("neverseen.com") is False
+
+    def test_uncovered_tld_returns_none(self, toy_world):
+        oracle = ZoneOracle.from_world(toy_world)
+        assert oracle.in_zone("spam.ru") is None
+
+    def test_covers(self, toy_world):
+        oracle = ZoneOracle.from_world(toy_world)
+        assert oracle.covers("x.com")
+        assert not oracle.covers("x.co.uk")
+
+    def test_registration_report(self, toy_world):
+        oracle = ZoneOracle.from_world(toy_world)
+        report = oracle.registration_report(
+            ["loudpills.com", "neverseen.com", "spam.ru"]
+        )
+        assert report == {"covered": 2, "registered": 1, "uncovered": 1}
+
+    def test_registered_fraction(self, toy_world):
+        oracle = ZoneOracle.from_world(toy_world)
+        assert oracle.registered_fraction(
+            ["loudpills.com", "neverseen.com"]
+        ) == 0.5
+        assert oracle.registered_fraction([]) == 0.0
+
+    def test_registered_subset(self, toy_world):
+        oracle = ZoneOracle.from_world(toy_world)
+        subset = oracle.registered_subset(
+            ["loudpills.com", "neverseen.com", "quietwatch.biz"]
+        )
+        assert subset == {"loudpills.com", "quietwatch.biz"}
+
+    def test_bracket_excludes_distant_registrations(self, toy_world):
+        # A domain dropped long before the bracket must not count.
+        toy_world.registry.register("ancient.com", -days(3000), -days(2500))
+        oracle = ZoneOracle.from_world(toy_world)
+        assert oracle.in_zone("ancient.com") is False
+
+
+class TestWebLists:
+    def test_alexa_membership_and_rank(self, toy_world):
+        alexa = AlexaList.from_world(toy_world)
+        assert "megaportal.com" in alexa
+        assert alexa.rank("megaportal.com") == 1
+        assert alexa.rank("shortlink.us") == 2
+        assert alexa.rank("loudpills.com") is None
+
+    def test_alexa_top(self, toy_world):
+        alexa = AlexaList.from_world(toy_world)
+        assert alexa.top(2) == ["megaportal.com", "shortlink.us"]
+
+    def test_alexa_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            AlexaList(["a.com", "a.com"])
+
+    def test_odp_membership(self, toy_world):
+        odp = OdpDirectory.from_world(toy_world)
+        assert "dirlisted.net" in odp
+        assert "megaportal.com" not in odp
+
+    def test_intersections(self, toy_world):
+        alexa = AlexaList.from_world(toy_world)
+        odp = OdpDirectory.from_world(toy_world)
+        domains = ["megaportal.com", "dirlisted.net", "loudpills.com"]
+        assert alexa.intersection(domains) == {"megaportal.com"}
+        assert odp.intersection(domains) == {"dirlisted.net"}
+        assert benign_listed(domains, alexa, odp) == {
+            "megaportal.com", "dirlisted.net"
+        }
+
+
+class TestCrawlOracle:
+    def test_live_storefront_tagged(self, toy_world):
+        oracle = CrawlOracle(toy_world)
+        result = oracle.crawl("loudpills.com", days(12))
+        assert result.http_ok
+        assert result.tagged
+        assert result.program_id == 0
+        assert result.affiliate_id == 0  # program 0 embeds ids
+
+    def test_non_embedding_program_hides_affiliate(self, toy_world):
+        oracle = CrawlOracle(toy_world)
+        result = oracle.crawl("quietwatch.biz", days(41))
+        assert result.tagged
+        assert result.program_id == 1
+        assert result.affiliate_id is None
+
+    def test_dead_after_takedown(self, toy_world):
+        oracle = CrawlOracle(toy_world)
+        result = oracle.crawl("loudpills.com", days(80))
+        assert not result.http_ok
+        assert not result.tagged
+
+    def test_redirector_tagged(self, toy_world):
+        oracle = CrawlOracle(toy_world)
+        result = oracle.crawl("shortlink.us", days(15))
+        assert result.tagged
+        assert result.program_id == 0
+
+    def test_benign_live_untagged(self, toy_world):
+        oracle = CrawlOracle(toy_world)
+        result = oracle.crawl("bignews.org", days(15))
+        assert result.http_ok
+        assert not result.tagged
+
+    def test_unhosted_dead(self, toy_world):
+        oracle = CrawlOracle(toy_world)
+        assert not oracle.crawl("qwxkzj.com", days(15)).http_ok
+
+    def test_verdict_cached_per_domain(self, toy_world):
+        oracle = CrawlOracle(toy_world)
+        first = oracle.crawl("loudpills.com", days(12))
+        second = oracle.crawl("loudpills.com", days(80))
+        assert first is second
+
+    def test_crawl_at_first_seen(self, toy_world):
+        oracle = CrawlOracle(toy_world)
+        results = oracle.crawl_at_first_seen(
+            {"loudpills.com": days(12), "qwxkzj.com": days(5)}
+        )
+        assert results["loudpills.com"].tagged
+        assert not results["qwxkzj.com"].http_ok
+        assert oracle.live_subset(results.values()) == {"loudpills.com"}
+        assert oracle.tagged_subset(results.values()) == {"loudpills.com"}
+
+    def test_tagging_requires_liveness(self):
+        from repro.oracles.crawler import CrawlResult
+        with pytest.raises(ValueError):
+            CrawlResult("x.com", http_ok=False, program_id=1)
+
+
+class TestIncomingMailOracle:
+    def make_oracle(self, world, **kwargs):
+        kwargs.setdefault("noise_sigma", 0.0)
+        return IncomingMailOracle(world, **kwargs)
+
+    def test_inactive_domain_zero_spam_volume(self, toy_world):
+        # The toy campaigns end before the oracle window (day 45-50
+        # overlaps quietwatch only).
+        oracle = self.make_oracle(toy_world)
+        assert oracle.message_volume("loudpills.com") == 0.0
+
+    def test_window_active_domain_counted(self, toy_world):
+        oracle = self.make_oracle(toy_world)
+        # quietwatch.biz: days 40-50, window 45-50 -> half the placement.
+        volume = oracle.message_volume("quietwatch.biz")
+        expected = 400.0 * 1.0 * 0.5 * 0.35  # vol * reach * overlap * share
+        assert abs(volume - expected) < 1e-9
+
+    def test_benign_volume_by_rank(self, toy_world):
+        oracle = self.make_oracle(toy_world)
+        top = oracle.message_volume("megaportal.com")
+        second = oracle.message_volume("shortlink.us")
+        assert top > second > 0
+
+    def test_odp_and_newsletter_baselines(self, toy_world):
+        oracle = self.make_oracle(toy_world)
+        assert oracle.message_volume("dirlisted.net") == 3.0
+        assert oracle.message_volume("newsweekly.com") == 25.0
+
+    def test_unknown_domain_zero(self, toy_world):
+        oracle = self.make_oracle(toy_world)
+        assert oracle.message_volume("neverseen.info") == 0.0
+
+    def test_query_normalized_to_peak(self, toy_world):
+        oracle = self.make_oracle(toy_world)
+        report = oracle.query(["megaportal.com", "quietwatch.biz"])
+        assert report["megaportal.com"] == 1.0
+        assert 0.0 < report["quietwatch.biz"] < 1.0
+
+    def test_query_all_zero(self, toy_world):
+        oracle = self.make_oracle(toy_world)
+        report = oracle.query(["neverseen.info"])
+        assert report == {"neverseen.info": 0.0}
+
+    def test_distribution(self, toy_world):
+        oracle = self.make_oracle(toy_world)
+        dist = oracle.distribution(["megaportal.com", "quietwatch.biz"])
+        assert dist.probability("megaportal.com") > dist.probability(
+            "quietwatch.biz"
+        )
+
+
+class TestZoneCoverage:
+    def test_coverage_fraction(self, toy_world):
+        oracle = ZoneOracle.from_world(toy_world)
+        assert oracle.coverage_fraction(["a.com", "b.ru"]) == 0.5
+        assert oracle.coverage_fraction([]) == 0.0
+
+    def test_paper_range_on_small_world(self, small_comparison):
+        # "Together these TLDs covered between 63% and 100% of each
+        # feed" (Section 4.1.1).
+        oracle = small_comparison.zone
+        for feed in small_comparison.feed_names:
+            domains = small_comparison.unique_domains(feed)
+            if not domains:
+                continue
+            fraction = oracle.coverage_fraction(domains)
+            assert 0.6 <= fraction <= 1.0

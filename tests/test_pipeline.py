@@ -1,0 +1,121 @@
+"""Unit tests for the paper pipeline (small world)."""
+
+import pytest
+
+from repro.ecosystem import small_config
+from repro.feeds import PAPER_FEED_ORDER
+from repro.pipeline import PaperPipeline
+from repro.pipeline.runner import FIG9_FEEDS, HONEYPOT_FEEDS
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    p = PaperPipeline(small_config(), seed=7)
+    p.run()
+    return p
+
+
+class TestRun:
+    def test_run_cached(self, pipeline):
+        assert pipeline.run() is pipeline.run()
+
+    def test_all_ten_feeds_collected(self, pipeline):
+        assert set(pipeline.run().datasets) == set(PAPER_FEED_ORDER)
+
+    def test_comparison_property(self, pipeline):
+        assert pipeline.comparison is pipeline.run().comparison
+
+
+class TestTables:
+    def test_table1_structure(self, pipeline):
+        table = pipeline.table1()
+        assert list(table) == list(PAPER_FEED_ORDER)
+        for cells in table.values():
+            assert cells["samples"] >= cells["unique"] >= 0
+
+    def test_table2_rows(self, pipeline):
+        rows = pipeline.table2()
+        assert [r.feed for r in rows] == list(PAPER_FEED_ORDER)
+        for row in rows:
+            for value in (row.dns, row.http, row.tagged, row.odp, row.alexa):
+                assert 0.0 <= value <= 1.0
+
+    def test_table3_consistency(self, pipeline):
+        for row in pipeline.table3():
+            assert row.exclusive_all <= row.total_all
+            assert row.total_tagged <= row.total_live <= row.total_all
+            assert row.exclusive_live <= row.total_live
+            assert row.exclusive_tagged <= row.total_tagged
+
+    def test_renders_nonempty(self, pipeline):
+        assert "Table 1" in pipeline.render_table1()
+        assert "Table 2" in pipeline.render_table2()
+        assert "Table 3" in pipeline.render_table3()
+
+
+class TestFigures:
+    def test_figure1_points(self, pipeline):
+        points = pipeline.figure1("live")
+        assert {p.feed for p in points} == set(PAPER_FEED_ORDER)
+
+    def test_figure2_matrices(self, pipeline):
+        matrix = pipeline.figure2("tagged")
+        assert matrix.union_size > 0
+        for feed in PAPER_FEED_ORDER:
+            assert 0.0 <= matrix.union_coverage(feed) <= 1.0
+
+    def test_figure3_rows(self, pipeline):
+        for kind in ("live", "tagged"):
+            rows = pipeline.figure3(kind)
+            assert [r.feed for r in rows] == list(PAPER_FEED_ORDER)
+
+    def test_figure4_5_matrices(self, pipeline):
+        assert pipeline.figure4().union_size > 0
+        assert pipeline.figure5().union_size > 0
+
+    def test_figure6_rows(self, pipeline):
+        rows = pipeline.figure6()
+        for row in rows:
+            assert 0.0 <= row.revenue_fraction <= 1.0
+
+    def test_figure7_8_matrices(self, pipeline):
+        vd = pipeline.figure7()
+        kt = pipeline.figure8()
+        assert "Mail" in vd and "Mail" in kt
+        volume_feeds = {"mx1", "mx2", "mx3", "Ac1", "Ac2", "Bot"}
+        assert volume_feeds <= set(vd)
+        # Hu/Hyb/blacklists carry no volume info (Section 4.3).
+        assert "Hu" not in vd and "Hyb" not in vd and "dbl" not in vd
+
+    def test_figure9_excludes_bot(self, pipeline):
+        stats = pipeline.figure9()
+        assert "Bot" not in stats
+        assert set(stats) <= set(FIG9_FEEDS)
+
+    def test_figures_10_to_12_honeypots_only(self, pipeline):
+        for stats in (
+            pipeline.figure10(), pipeline.figure11(), pipeline.figure12()
+        ):
+            assert set(stats) <= set(HONEYPOT_FEEDS)
+
+    def test_render_all_contains_every_artifact(self, pipeline):
+        text = pipeline.render_all()
+        for marker in (
+            "Table 1", "Table 2", "Table 3",
+            "Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+            "Figure 6", "Figure 7", "Figure 8", "Figure 9", "Figure 10",
+            "Figure 11", "Figure 12",
+        ):
+            assert marker in text
+
+
+class TestDeterminism:
+    def test_same_seed_same_tables(self):
+        a = PaperPipeline(small_config(), seed=99).table1()
+        b = PaperPipeline(small_config(), seed=99).table1()
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = PaperPipeline(small_config(), seed=99).table1()
+        b = PaperPipeline(small_config(), seed=100).table1()
+        assert a != b

@@ -1,0 +1,142 @@
+"""Cross-module property tests (hypothesis) on core invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecosystem.entities import DomainPlacement
+from repro.feeds.base import FeedDataset, FeedRecord, FeedType
+from repro.feeds.capture import capture_placement
+from repro.io.serialization import (
+    read_feed_jsonl,
+    roundtrip_equal,
+    write_feed_jsonl,
+)
+from repro.stats.distributions import EmpiricalDistribution
+from repro.stats.kendall import kendall_tau_distributions
+
+_domain = st.from_regex(r"[a-z]{1,8}[0-9]{0,3}\.(com|net|org|biz)",
+                        fullmatch=True)
+
+
+class TestCaptureInvariants:
+    @given(
+        st.integers(0, 10_000),   # start
+        st.integers(30, 50_000),  # duration
+        st.floats(1.0, 50_000.0),  # volume
+        st.floats(0.0, 1.0),      # exposure
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=60)
+    def test_records_confined_to_placement(
+        self, start, duration, volume, exposure, seed
+    ):
+        placement = DomainPlacement("x.com", start, start + duration, volume)
+        records = capture_placement(
+            random.Random(seed), placement, exposure
+        )
+        for record in records:
+            assert placement.start <= record.time < placement.end
+            assert record.domain == "x.com"
+
+    @given(
+        st.floats(1.0, 10_000.0),
+        st.floats(0.0, 0.5),
+        st.floats(0.0, 0.9),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=60)
+    def test_onset_reduces_or_preserves_expected_count(
+        self, volume, exposure, onset, seed
+    ):
+        placement = DomainPlacement("x.com", 0, 10_000, volume)
+        not_before = int(onset * placement.duration)
+        full = len(
+            capture_placement(random.Random(seed), placement, exposure)
+        )
+        truncated_records = capture_placement(
+            random.Random(seed), placement, exposure, not_before=not_before
+        )
+        for record in truncated_records:
+            assert record.time >= not_before
+        del full  # counts are random; confinement is the invariant
+
+
+class TestDatasetInvariants:
+    @given(
+        st.lists(
+            st.tuples(_domain, st.integers(0, 100_000)),
+            max_size=60,
+        )
+    )
+    def test_first_seen_never_after_last_seen(self, raw):
+        dataset = FeedDataset(
+            "t", FeedType.MX_HONEYPOT,
+            [FeedRecord(d, t) for d, t in raw],
+        )
+        first = dataset.first_seen()
+        last = dataset.last_seen()
+        assert set(first) == set(last) == dataset.unique_domains()
+        for domain in first:
+            assert first[domain] <= last[domain]
+
+    @given(
+        st.lists(
+            st.tuples(_domain, st.integers(0, 100_000)),
+            max_size=60,
+        )
+    )
+    def test_counts_sum_to_samples(self, raw):
+        dataset = FeedDataset(
+            "t", FeedType.MX_HONEYPOT,
+            [FeedRecord(d, t) for d, t in raw],
+        )
+        counts = dataset.domain_counts()
+        assert counts.total == dataset.total_samples
+
+    @given(
+        st.lists(
+            st.tuples(_domain, st.integers(0, 100_000)),
+            max_size=40,
+        ),
+        st.booleans(),
+    )
+    @settings(max_examples=40)
+    def test_jsonl_roundtrip(self, raw, has_volume):
+        import os
+        import tempfile
+
+        dataset = FeedDataset(
+            "t", FeedType.BOTNET,
+            [FeedRecord(d, t) for d, t in raw],
+            has_volume=has_volume,
+        )
+        fd, path = tempfile.mkstemp(suffix=".jsonl")
+        os.close(fd)
+        try:
+            write_feed_jsonl(dataset, path)
+            assert roundtrip_equal(dataset, read_feed_jsonl(path))
+        finally:
+            os.unlink(path)
+
+
+class TestRankAgreementInvariants:
+    @given(
+        st.dictionaries(_domain, st.integers(1, 100), min_size=2,
+                        max_size=25),
+        st.floats(1.1, 5.0),
+    )
+    @settings(max_examples=40)
+    def test_scaling_preserves_perfect_rank_agreement(self, counts, factor):
+        p = EmpiricalDistribution(counts)
+        q = EmpiricalDistribution(
+            {k: v * factor for k, v in counts.items()}
+        )
+        # Monotone scaling preserves ranks exactly; tau is 1 unless the
+        # distribution carries no rank information (all counts tied).
+        tau = kendall_tau_distributions(p, q)
+        if len(set(counts.values())) > 1:
+            assert tau == 1.0
+        else:
+            assert tau == 0.0

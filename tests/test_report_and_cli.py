@@ -1,0 +1,81 @@
+"""Unit tests for the report writer and the CLI."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.ecosystem import small_config
+from repro.pipeline import PaperPipeline
+from repro.reporting.report import write_report
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    p = PaperPipeline(small_config(), seed=7)
+    p.run()
+    return p
+
+
+class TestWriteReport:
+    def test_all_artifacts_written(self, pipeline, tmp_path):
+        files = write_report(pipeline, str(tmp_path / "out"))
+        names = set(files)
+        for i in range(1, 13):
+            assert f"figure{i}.txt" in names
+        for i in (1, 2, 3):
+            assert f"table{i}.txt" in names
+        assert "report.txt" in names
+        assert "table2.csv" in names
+        assert "figure3_live.csv" in names
+
+    def test_artifact_contents(self, pipeline, tmp_path):
+        directory = tmp_path / "out"
+        write_report(pipeline, str(directory))
+        table2 = (directory / "table2.txt").read_text()
+        assert "Table 2" in table2
+        csv_text = (directory / "table2.csv").read_text()
+        assert csv_text.startswith("feed,")
+
+    def test_directory_created(self, pipeline, tmp_path):
+        nested = tmp_path / "a" / "b"
+        files = write_report(pipeline, str(nested))
+        assert files
+        assert nested.is_dir()
+
+
+class TestCli:
+    def test_run_to_directory(self, tmp_path, capsys):
+        code = main(
+            ["--small", "--seed", "7", "run", "-o", str(tmp_path / "r")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "artifacts" in out
+        assert (tmp_path / "r" / "report.txt").exists()
+
+    def test_run_to_stdout(self, capsys):
+        code = main(["--small", "--seed", "7", "run"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Figure 12" in out
+
+    def test_recommend(self, capsys):
+        code = main(["--small", "--seed", "7", "recommend", "coverage"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Feed ranking" in out
+        assert " 1. " in out
+
+    def test_filter(self, capsys):
+        code = main(["--small", "--seed", "7", "filter"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "blocking oracles" in out
+        assert "dbl" in out
+
+    def test_bad_question_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["recommend", "telepathy"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

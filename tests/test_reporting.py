@@ -1,0 +1,134 @@
+"""Unit tests for the reporting layer."""
+
+import pytest
+
+from repro.analysis.coverage import OverlapMatrix, ScatterPoint
+from repro.analysis.timing import BoxStats
+from repro.reporting.charts import (
+    log10_guides,
+    render_bars,
+    render_box_stats,
+    render_scatter,
+    render_stacked_bars,
+)
+from repro.reporting.matrix import (
+    _abbreviate,
+    render_overlap_matrix,
+    render_value_matrix,
+)
+from repro.reporting.tables import Table, format_count, format_percent
+
+
+class TestFormatters:
+    def test_format_count(self):
+        assert format_count(1234567) == "1,234,567"
+        assert format_count(0) == "0"
+
+    def test_format_percent(self):
+        assert format_percent(0.88) == "88%"
+        assert format_percent(0.005) == "<1%"
+        assert format_percent(0.0) == "0%"
+        assert format_percent(1.0) == "100%"
+
+    def test_abbreviate(self):
+        assert _abbreviate(61_432) == "61K"
+        assert _abbreviate(1_432) == "1.4K"
+        assert _abbreviate(999) == "999"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["Feed", "Count"], title="T")
+        table.add_row("Hu", "1,000")
+        table.add_row("mx1", "5")
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Feed" in lines[1]
+        assert lines[3].startswith("Hu")
+        # Numeric column right-aligned.
+        assert lines[3].endswith("1,000")
+        assert lines[4].endswith("5")
+
+    def test_cell_count_mismatch(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_str(self):
+        table = Table(["x"])
+        assert str(table) == table.render()
+
+
+class TestOverlapRendering:
+    def test_contains_percent_and_counts(self):
+        matrix = OverlapMatrix({"A": {"x", "y"}, "B": {"y"}})
+        text = render_overlap_matrix(matrix, title="M")
+        assert text.startswith("M")
+        assert "100%" in text
+        assert "All" in text
+
+    def test_without_all_column(self):
+        matrix = OverlapMatrix({"A": {"x"}, "B": {"x"}})
+        text = render_overlap_matrix(matrix, include_all_column=False)
+        assert "All" not in text
+
+    def test_value_matrix(self):
+        values = {"a": {"a": 0.0, "b": 0.5}, "b": {"a": 0.5, "b": 0.0}}
+        text = render_value_matrix(values)
+        assert "0.50" in text
+        assert text.splitlines()[0].strip().startswith("a")
+
+
+class TestCharts:
+    def test_render_bars(self):
+        text = render_bars([("Hu", 2.0), ("mx1", 1.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_render_bars_empty(self):
+        assert render_bars([], title="t") == "t"
+
+    def test_render_stacked_bars(self):
+        text = render_stacked_bars([("Hu", 0.5, 0.25)], width=20)
+        line = text.splitlines()[0]
+        assert line.count("#") == 10
+        assert line.count(":") == 5
+
+    def test_stacked_bars_clamped(self):
+        text = render_stacked_bars([("x", 0.9, 0.9)], width=10)
+        line = text.splitlines()[0]
+        assert line.count("#") + line.count(":") <= 10
+
+    def test_render_scatter(self):
+        points = [ScatterPoint("Hu", 100, 10), ScatterPoint("mx1", 10, 0)]
+        text = render_scatter(points, title="S")
+        assert "Hu" in text
+        assert "2.00" in text  # log10(100)
+        assert "-inf" in text  # zero exclusives
+
+    def test_render_box_stats(self):
+        stats = {"Hu": BoxStats.from_values([60.0, 120.0, 180.0])}
+        text = render_box_stats(stats, divisor=60.0, unit="hours")
+        assert "Hu" in text
+        assert "2.00" in text  # median in hours
+        assert "hours" in text
+
+    def test_box_stats_order_respected(self):
+        stats = {
+            "a": BoxStats.from_values([1.0]),
+            "b": BoxStats.from_values([2.0]),
+        }
+        text = render_box_stats(stats, order=["b", "a"])
+        lines = text.splitlines()
+        assert lines[1].startswith("b")
+        assert lines[2].startswith("a")
+
+    def test_log10_guides(self):
+        assert log10_guides(1500) == [1, 10, 100, 1000]
+        assert log10_guides(0) == []

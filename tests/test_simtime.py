@@ -1,0 +1,105 @@
+"""Unit tests for the simulation clock."""
+
+import pytest
+
+from repro.simtime import (
+    MEASUREMENT_DAYS,
+    MEASUREMENT_MINUTES,
+    MINUTES_PER_DAY,
+    MINUTES_PER_HOUR,
+    Timeline,
+    days,
+    hours,
+    minutes_to_days,
+    minutes_to_hours,
+)
+
+
+class TestConversions:
+    def test_hours_to_minutes(self):
+        assert hours(1) == 60
+        assert hours(2.5) == 150
+
+    def test_days_to_minutes(self):
+        assert days(1) == MINUTES_PER_DAY
+        assert days(0.5) == 720
+
+    def test_rounding(self):
+        assert hours(1.0001) == 60
+        assert days(1 / MINUTES_PER_DAY) == 1
+
+    def test_minutes_to_hours(self):
+        assert minutes_to_hours(90) == 1.5
+
+    def test_minutes_to_days(self):
+        assert minutes_to_days(MINUTES_PER_DAY * 3) == 3.0
+
+    def test_measurement_window_is_92_days(self):
+        assert MEASUREMENT_DAYS == 92
+        assert MEASUREMENT_MINUTES == 92 * 24 * 60
+
+    def test_constants_consistent(self):
+        assert MINUTES_PER_DAY == 24 * MINUTES_PER_HOUR
+
+
+class TestTimeline:
+    def test_defaults(self):
+        tl = Timeline()
+        assert tl.start == 0
+        assert tl.end == MEASUREMENT_MINUTES
+        assert tl.duration == MEASUREMENT_MINUTES
+        assert tl.duration_days == 92.0
+
+    def test_contains(self):
+        tl = Timeline()
+        assert tl.contains(0)
+        assert tl.contains(tl.end - 1)
+        assert not tl.contains(-1)
+        assert not tl.contains(tl.end)
+
+    def test_oracle_window(self):
+        tl = Timeline()
+        assert tl.oracle_end - tl.oracle_start == days(5)
+        assert tl.in_oracle_window(tl.oracle_start)
+        assert not tl.in_oracle_window(tl.oracle_end)
+        assert not tl.in_oracle_window(tl.oracle_start - 1)
+
+    def test_clamp(self):
+        tl = Timeline()
+        assert tl.clamp(-100) == 0
+        assert tl.clamp(tl.end + 100) == tl.end - 1
+        assert tl.clamp(500) == 500
+
+    def test_day_of(self):
+        tl = Timeline()
+        assert tl.day_of(0) == 0
+        assert tl.day_of(MINUTES_PER_DAY) == 1
+        assert tl.day_of(MINUTES_PER_DAY * 2 - 1) == 1
+
+    def test_iter_days(self):
+        tl = Timeline(start=0, end=days(3), oracle_start=0, oracle_days=1)
+        entries = list(tl.iter_days())
+        assert entries == [
+            (0, 0),
+            (1, MINUTES_PER_DAY),
+            (2, 2 * MINUTES_PER_DAY),
+        ]
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            Timeline(start=100, end=50, oracle_start=100, oracle_days=0)
+
+    def test_rejects_oracle_outside_window(self):
+        with pytest.raises(ValueError):
+            Timeline(start=0, end=days(10), oracle_start=days(11))
+
+    def test_rejects_oracle_overflowing_end(self):
+        with pytest.raises(ValueError):
+            Timeline(start=0, end=days(10), oracle_start=days(8),
+                     oracle_days=5)
+
+    def test_custom_window(self):
+        tl = Timeline(start=0, end=days(30), oracle_start=days(10),
+                      oracle_days=2)
+        assert tl.duration_days == 30.0
+        assert tl.oracle_end == days(12)

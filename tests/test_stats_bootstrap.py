@@ -1,0 +1,89 @@
+"""Unit tests for bootstrap confidence intervals."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.bootstrap import (
+    BootstrapInterval,
+    bootstrap_coverage,
+    bootstrap_fraction,
+)
+
+
+class TestBootstrapFraction:
+    def test_full_membership(self):
+        interval = bootstrap_fraction({"a", "b"}, ["a", "b"], replicates=200)
+        assert interval.estimate == 1.0
+        assert interval.low == 1.0
+        assert interval.high == 1.0
+
+    def test_no_membership(self):
+        interval = bootstrap_fraction(set(), ["a", "b"], replicates=200)
+        assert interval.estimate == 0.0
+        assert interval.width == 0.0
+
+    def test_interval_brackets_estimate(self):
+        universe = [f"d{i}" for i in range(200)]
+        members = set(universe[:80])
+        interval = bootstrap_fraction(members, universe, replicates=400)
+        assert interval.estimate == pytest.approx(0.4)
+        assert interval.low <= interval.estimate <= interval.high
+        assert interval.contains(0.4)
+        assert 0.0 < interval.width < 0.3
+
+    def test_deterministic(self):
+        universe = [f"d{i}" for i in range(50)]
+        a = bootstrap_fraction(universe[:10], universe, seed=3)
+        b = bootstrap_fraction(universe[:10], universe, seed=3)
+        assert a == b
+
+    def test_higher_confidence_wider(self):
+        universe = [f"d{i}" for i in range(100)]
+        members = set(universe[:50])
+        narrow = bootstrap_fraction(
+            members, universe, confidence=0.5, replicates=500
+        )
+        wide = bootstrap_fraction(
+            members, universe, confidence=0.99, replicates=500
+        )
+        assert wide.width >= narrow.width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_fraction(set(), [], replicates=10)
+        with pytest.raises(ValueError):
+            bootstrap_fraction(set(), ["a"], replicates=0)
+        with pytest.raises(ValueError):
+            bootstrap_fraction(set(), ["a"], confidence=1.5)
+
+    @given(
+        st.sets(st.integers(0, 40), min_size=1, max_size=40),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=30)
+    def test_property_interval_ordering(self, universe, seed):
+        members = {u for u in universe if u % 2 == 0}
+        interval = bootstrap_fraction(
+            members, sorted(universe), replicates=100, seed=seed
+        )
+        assert 0.0 <= interval.low <= interval.high <= 1.0
+        assert interval.low <= interval.estimate <= interval.high
+
+    def test_str(self):
+        interval = BootstrapInterval(0.5, 0.4, 0.6, 0.95, 100)
+        assert "0.500" in str(interval)
+
+
+class TestBootstrapCoverage:
+    def test_against_toy_comparison(self, toy_world):
+        from repro.analysis import FeedComparison
+        from tests.test_analysis_context import make_feeds
+
+        comparison = FeedComparison(toy_world, make_feeds(), seed=0)
+        interval = bootstrap_coverage(
+            comparison, "Hu", kind="tagged", replicates=300
+        )
+        # Hu covers 2 of the 3 tagged domains.
+        assert interval.estimate == pytest.approx(2 / 3)
+        assert interval.contains(interval.estimate)

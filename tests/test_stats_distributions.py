@@ -1,0 +1,208 @@
+"""Unit and property tests for samplers and empirical distributions."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.distributions import (
+    EmpiricalDistribution,
+    bounded_pareto,
+    truncated_lognormal,
+    weighted_choice,
+    zipf_sample,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(100, 1.0)
+        assert math.isclose(sum(weights), 1.0, rel_tol=1e-9)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, 1.2)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_zero_exponent_uniform(self):
+        weights = zipf_weights(4, 0.0)
+        assert all(math.isclose(w, 0.25) for w in weights)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)
+
+    @given(st.integers(1, 200), st.floats(0.0, 3.0))
+    def test_property_normalized_and_positive(self, n, exponent):
+        weights = zipf_weights(n, exponent)
+        assert len(weights) == n
+        assert math.isclose(sum(weights), 1.0, rel_tol=1e-9)
+        assert all(w > 0 for w in weights)
+
+
+class TestWeightedChoice:
+    def test_deterministic_single(self):
+        rng = random.Random(0)
+        assert weighted_choice(rng, ["a"], [1.0]) == "a"
+
+    def test_zero_weight_never_chosen(self):
+        rng = random.Random(0)
+        chosen = {
+            weighted_choice(rng, ["a", "b"], [0.0, 1.0]) for _ in range(200)
+        }
+        assert chosen == {"b"}
+
+    def test_respects_proportions(self):
+        rng = random.Random(1)
+        draws = [
+            weighted_choice(rng, ["a", "b"], [3.0, 1.0]) for _ in range(4000)
+        ]
+        fraction_a = draws.count("a") / len(draws)
+        assert 0.70 < fraction_a < 0.80
+
+    def test_errors(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            weighted_choice(rng, [], [])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a", "b"], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [-1.0])
+
+
+class TestZipfSample:
+    def test_in_range(self):
+        rng = random.Random(2)
+        for _ in range(100):
+            assert 0 <= zipf_sample(rng, 10, 1.0) < 10
+
+    def test_head_heavier_than_tail(self):
+        rng = random.Random(3)
+        draws = [zipf_sample(rng, 20, 1.5) for _ in range(2000)]
+        assert draws.count(0) > draws.count(19)
+
+
+class TestBoundedPareto:
+    def test_within_bounds(self):
+        rng = random.Random(4)
+        for _ in range(500):
+            x = bounded_pareto(rng, 1.1, 10.0, 1000.0)
+            assert 10.0 <= x <= 1000.0
+
+    def test_heavy_tail_skews_low(self):
+        rng = random.Random(5)
+        draws = [bounded_pareto(rng, 1.5, 1.0, 1e6) for _ in range(3000)]
+        median = sorted(draws)[len(draws) // 2]
+        assert median < 10.0  # most mass near the lower bound
+
+    def test_rejects_bad_parameters(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, 0.0, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, 1.0, 10.0, 5.0)
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, 1.0, 0.0, 5.0)
+
+    @given(
+        st.floats(0.3, 3.0),
+        st.floats(0.5, 100.0),
+        st.floats(101.0, 1e7),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=60)
+    def test_property_bounds(self, alpha, low, high, seed):
+        rng = random.Random(seed)
+        x = bounded_pareto(rng, alpha, low, high)
+        assert low <= x <= high
+
+
+class TestTruncatedLognormal:
+    def test_within_bounds(self):
+        rng = random.Random(6)
+        for _ in range(200):
+            x = truncated_lognormal(rng, 0.0, 1.0, 0.5, 3.0)
+            assert 0.5 <= x <= 3.0
+
+    def test_pathological_bounds_clamped(self):
+        rng = random.Random(7)
+        x = truncated_lognormal(rng, 0.0, 0.1, 1e9, 2e9)
+        assert 1e9 <= x <= 2e9
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            truncated_lognormal(random.Random(0), 0.0, 1.0, 5.0, 1.0)
+
+
+class TestEmpiricalDistribution:
+    def test_probabilities_sum_to_one(self):
+        d = EmpiricalDistribution({"a": 1, "b": 3})
+        assert math.isclose(sum(d.as_probabilities().values()), 1.0)
+
+    def test_probability_values(self):
+        d = EmpiricalDistribution({"a": 1, "b": 3})
+        assert d.probability("a") == 0.25
+        assert d.probability("b") == 0.75
+        assert d.probability("missing") == 0.0
+
+    def test_zero_counts_dropped(self):
+        d = EmpiricalDistribution({"a": 0, "b": 2})
+        assert "a" not in d
+        assert len(d) == 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution({"a": -1})
+
+    def test_from_observations(self):
+        d = EmpiricalDistribution.from_observations("aabbbc")
+        assert d.count("b") == 3
+        assert d.total == 6
+
+    def test_restrict_renormalizes(self):
+        d = EmpiricalDistribution({"a": 1, "b": 1, "c": 2})
+        r = d.restrict({"a", "b"})
+        assert r.probability("a") == 0.5
+        assert "c" not in r
+
+    def test_top(self):
+        d = EmpiricalDistribution({"a": 5, "b": 9, "c": 1})
+        assert d.top(2) == [("b", 9.0), ("a", 5.0)]
+
+    def test_entropy_uniform_maximal(self):
+        uniform = EmpiricalDistribution({"a": 1, "b": 1})
+        skewed = EmpiricalDistribution({"a": 99, "b": 1})
+        assert uniform.entropy() > skewed.entropy()
+        assert math.isclose(uniform.entropy(), math.log(2))
+
+    def test_empty(self):
+        d = EmpiricalDistribution({})
+        assert d.total == 0
+        assert d.probability("x") == 0.0
+        assert d.entropy() == 0.0
+
+    def test_support_frozen(self):
+        d = EmpiricalDistribution({"a": 1})
+        assert d.support == frozenset({"a"})
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=5),
+            # Subnormal counts would underflow to probability 0.0 when
+            # divided by a huge total; keep counts in a sane range.
+            st.one_of(st.just(0.0), st.floats(1e-9, 1e6)),
+            max_size=30,
+        )
+    )
+    def test_property_probabilities_valid(self, counts):
+        d = EmpiricalDistribution(counts)
+        probs = d.as_probabilities()
+        assert all(0.0 < p <= 1.0 for p in probs.values())
+        if probs:
+            assert math.isclose(sum(probs.values()), 1.0, rel_tol=1e-9)

@@ -1,0 +1,125 @@
+"""Unit and property tests for Kendall's tau-b."""
+
+import itertools
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.distributions import EmpiricalDistribution
+from repro.stats.kendall import kendall_tau_b, kendall_tau_distributions
+
+
+def tau_b_reference(x, y):
+    """O(n^2) textbook tau-b used to validate the fast implementation."""
+    n = len(x)
+    concordant = discordant = ties_x = ties_y = 0
+    for i, j in itertools.combinations(range(n), 2):
+        dx = x[i] - x[j]
+        dy = y[i] - y[j]
+        if dx == 0 and dy == 0:
+            ties_x += 1
+            ties_y += 1
+        elif dx == 0:
+            ties_x += 1
+        elif dy == 0:
+            ties_y += 1
+        elif dx * dy > 0:
+            concordant += 1
+        else:
+            discordant += 1
+    n0 = n * (n - 1) // 2
+    denom = math.sqrt((n0 - ties_x) * (n0 - ties_y))
+    if denom == 0:
+        return 0.0
+    return (concordant - discordant) / denom
+
+
+class TestKendallTauB:
+    def test_perfect_agreement(self):
+        assert kendall_tau_b([1, 2, 3, 4], [10, 20, 30, 40]) == 1.0
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau_b([1, 2, 3, 4], [4, 3, 2, 1]) == -1.0
+
+    def test_single_swap(self):
+        assert math.isclose(
+            kendall_tau_b([1, 2, 3, 4], [1, 3, 2, 4]), 2 / 3
+        )
+
+    def test_constant_sequence_returns_zero(self):
+        assert kendall_tau_b([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_tie_handling_matches_reference(self):
+        x = [1, 2, 2, 3, 3, 3]
+        y = [2, 2, 1, 3, 1, 3]
+        assert math.isclose(kendall_tau_b(x, y), tau_b_reference(x, y))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            kendall_tau_b([1, 2], [1])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            kendall_tau_b([1], [1])
+
+    def test_symmetry(self):
+        x = [3, 1, 4, 1, 5, 9, 2, 6]
+        y = [2, 7, 1, 8, 2, 8, 1, 8]
+        assert math.isclose(kendall_tau_b(x, y), kendall_tau_b(y, x))
+
+    @given(
+        st.lists(st.integers(0, 8), min_size=2, max_size=40),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=120)
+    def test_property_matches_quadratic_reference(self, x, seed):
+        rng = random.Random(seed)
+        y = [rng.randint(0, 8) for _ in x]
+        fast = kendall_tau_b(x, y)
+        slow = tau_b_reference(x, y)
+        assert math.isclose(fast, slow, abs_tol=1e-9)
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=50))
+    def test_property_self_correlation(self, x):
+        # A sequence against itself is perfectly correlated unless
+        # it carries no rank information at all (all values tied).
+        if len(set(x)) > 1:
+            assert math.isclose(kendall_tau_b(x, x), 1.0)
+        else:
+            assert kendall_tau_b(x, x) == 0.0
+
+    @given(
+        st.lists(st.integers(0, 20), min_size=2, max_size=40),
+        st.integers(0, 10_000),
+    )
+    def test_property_range(self, x, seed):
+        rng = random.Random(seed)
+        y = [rng.randint(0, 20) for _ in x]
+        assert -1.0 <= kendall_tau_b(x, y) <= 1.0
+
+
+class TestKendallDistributions:
+    def test_common_support_only(self):
+        p = EmpiricalDistribution({"a": 4, "b": 3, "c": 2, "x": 100})
+        q = EmpiricalDistribution({"a": 40, "b": 30, "c": 20, "y": 1})
+        # Over common keys {a, b, c} the rankings agree perfectly.
+        assert kendall_tau_distributions(p, q) == 1.0
+
+    def test_insufficient_common_support(self):
+        p = EmpiricalDistribution({"a": 1})
+        q = EmpiricalDistribution({"b": 1})
+        assert kendall_tau_distributions(p, q) == 0.0
+
+    def test_reversed_ranks(self):
+        p = EmpiricalDistribution({"a": 3, "b": 2, "c": 1})
+        q = EmpiricalDistribution({"a": 1, "b": 2, "c": 3})
+        assert kendall_tau_distributions(p, q) == -1.0
+
+    def test_support_restriction(self):
+        p = EmpiricalDistribution({"a": 3, "b": 2, "c": 1})
+        q = EmpiricalDistribution({"a": 1, "b": 2, "c": 3})
+        # Restricted to two keys, still perfectly discordant.
+        assert kendall_tau_distributions(p, q, support={"a", "c"}) == -1.0

@@ -1,0 +1,98 @@
+"""Unit and property tests for variation distance."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.distributions import EmpiricalDistribution
+from repro.stats.metrics import (
+    normalized_counts,
+    overlap_coefficient,
+    variation_distance,
+)
+
+
+def dist(**counts):
+    return EmpiricalDistribution(counts)
+
+
+class TestVariationDistance:
+    def test_identical_distributions(self):
+        p = dist(a=2, b=2)
+        assert variation_distance(p, p) == 0.0
+
+    def test_proportional_counts_are_identical(self):
+        assert variation_distance(dist(a=1, b=3), dist(a=10, b=30)) == 0.0
+
+    def test_disjoint_supports(self):
+        assert variation_distance(dist(a=1), dist(b=1)) == 1.0
+
+    def test_half_overlap(self):
+        # p = (3/4, 1/4), q = (1/4, 3/4) -> delta = 1/2.
+        assert math.isclose(
+            variation_distance(dist(a=3, b=1), dist(a=1, b=3)), 0.5
+        )
+
+    def test_both_empty(self):
+        assert variation_distance(dist(), dist()) == 0.0
+
+    def test_one_empty(self):
+        assert variation_distance(dist(a=1), dist()) == 1.0
+
+    def test_support_restriction(self):
+        p = dist(a=1, b=1, z=98)
+        q = dist(a=1, b=1)
+        # Restricted to {a, b}, the distributions agree exactly.
+        assert variation_distance(p, q, support={"a", "b"}) == 0.0
+        assert variation_distance(p, q) > 0.9
+
+    def test_symmetry(self):
+        p, q = dist(a=5, b=1), dist(a=1, c=4)
+        assert variation_distance(p, q) == variation_distance(q, p)
+
+    @given(
+        st.dictionaries(st.integers(0, 20), st.floats(0.01, 100), max_size=15),
+        st.dictionaries(st.integers(0, 20), st.floats(0.01, 100), max_size=15),
+    )
+    def test_property_metric_range_and_symmetry(self, c1, c2):
+        p, q = EmpiricalDistribution(c1), EmpiricalDistribution(c2)
+        d = variation_distance(p, q)
+        assert 0.0 <= d <= 1.0
+        assert math.isclose(d, variation_distance(q, p), abs_tol=1e-12)
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 10), st.floats(0.01, 100), min_size=1, max_size=10
+        )
+    )
+    def test_property_self_distance_zero(self, counts):
+        p = EmpiricalDistribution(counts)
+        assert variation_distance(p, p) == 0.0
+
+    @given(
+        st.dictionaries(st.integers(0, 8), st.floats(0.01, 9), max_size=8),
+        st.dictionaries(st.integers(0, 8), st.floats(0.01, 9), max_size=8),
+        st.dictionaries(st.integers(0, 8), st.floats(0.01, 9), max_size=8),
+    )
+    def test_property_triangle_inequality(self, c1, c2, c3):
+        p = EmpiricalDistribution(c1)
+        q = EmpiricalDistribution(c2)
+        r = EmpiricalDistribution(c3)
+        assert variation_distance(p, r) <= (
+            variation_distance(p, q) + variation_distance(q, r) + 1e-9
+        )
+
+
+class TestOverlapCoefficient:
+    def test_complement_of_distance(self):
+        p, q = dist(a=3, b=1), dist(a=1, b=3)
+        assert math.isclose(
+            overlap_coefficient(p, q), 1.0 - variation_distance(p, q)
+        )
+
+
+class TestNormalizedCounts:
+    def test_wraps_mapping(self):
+        d = normalized_counts({"x": 2, "y": 2})
+        assert d.probability("x") == 0.5
