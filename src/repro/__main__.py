@@ -4,28 +4,42 @@ Subcommands:
 
 * ``run``       -- build the world, collect the feeds, print/write every
                    table and figure.
+* ``stream``    -- consume the feeds incrementally in simulation-time
+                   order, with windowed snapshots and checkpoint/resume.
 * ``recommend`` -- rank feeds for a research question (Section 5).
 * ``filter``    -- evaluate feeds as blocking oracles.
+
+All progress chatter goes to stderr through one ``--quiet``-aware
+helper; stdout carries only the analysis artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.analysis.filtering import evaluate_all_filters
 from repro.analysis.recommend import Question, rank_feeds
 from repro.ecosystem import paper_config, small_config
+from repro.io.checkpoint import CheckpointError, read_checkpoint
 from repro.pipeline import PaperPipeline
 from repro.reporting.report import write_report
 from repro.reporting.tables import Table, format_percent
+from repro.stream import CHECKPOINT_KIND, build_stream_engine
+
+
+def _progress(args, message: str) -> None:
+    """Print one progress line to stderr unless ``--quiet`` was given."""
+    if not args.quiet:
+        print(message, file=sys.stderr)
 
 
 def _build_pipeline(args) -> PaperPipeline:
     config = small_config() if args.small else paper_config()
     pipeline = PaperPipeline(config, seed=args.seed)
-    print("Building world and collecting feeds...", file=sys.stderr)
+    _progress(args, "Building world and collecting feeds...")
     pipeline.run()
     return pipeline
 
@@ -39,6 +53,102 @@ def _cmd_run(args) -> int:
             print(f"  {name}")
     else:
         print(pipeline.render_all())
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    config = small_config() if args.small else paper_config()
+    _progress(args, "Building world and collecting feed sources...")
+    engine = build_stream_engine(
+        config, seed=args.seed, batch_size=args.batch_size
+    )
+
+    def save_checkpoint() -> bool:
+        try:
+            engine.save_checkpoint(args.checkpoint)
+        except OSError as exc:
+            print(
+                f"error: cannot write checkpoint {args.checkpoint}: {exc}",
+                file=sys.stderr,
+            )
+            return False
+        return True
+
+    if args.resume:
+        try:
+            engine.restore(read_checkpoint(args.resume, CHECKPOINT_KIND))
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _progress(
+            args,
+            f"Resumed from {args.resume}: "
+            f"{engine.records_processed:,} records already processed",
+        )
+
+    timeline = engine.world.timeline
+    total_days = int(timeline.duration_days)
+    stop_day = total_days if args.until_day is None else min(
+        args.until_day, total_days
+    )
+
+    started = time.perf_counter()
+    resumed_records = engine.records_processed
+
+    def throughput() -> float:
+        elapsed = time.perf_counter() - started
+        done = engine.records_processed - resumed_records
+        return done / elapsed if elapsed > 0 else 0.0
+
+    current_day = (
+        -1 if engine.position is None else timeline.day_of(engine.position)
+    )
+    if args.snapshot_every:
+        day = args.snapshot_every
+        while day <= current_day:
+            day += args.snapshot_every
+        while day < stop_day:
+            engine.advance_to_day(day)
+            union = engine.state.union_size
+            exclusive = sum(
+                row.exclusive for row in engine.online_coverage()
+            )
+            _progress(
+                args,
+                f"[stream] day {day}/{total_days}: "
+                f"{engine.records_processed:,} records, "
+                f"{union:,} distinct domains "
+                f"({exclusive:,} single-feed), "
+                f"{throughput():,.0f} records/s",
+            )
+            if args.tables:
+                snapshot = engine.snapshot()
+                print(snapshot.header())
+                print(snapshot.render_tables())
+                print()
+            if args.checkpoint and not save_checkpoint():
+                return 2
+            day += args.snapshot_every
+
+    if stop_day >= total_days:
+        engine.run()
+    else:
+        engine.advance_to_day(stop_day)
+
+    _progress(
+        args,
+        f"[stream] done: {engine.records_processed:,} records at "
+        f"{throughput():,.0f} records/s",
+    )
+    if args.checkpoint:
+        if not save_checkpoint():
+            return 2
+        _progress(args, f"Checkpoint written to {args.checkpoint}")
+
+    snapshot = engine.snapshot()
+    if not engine.exhausted:
+        _progress(args, snapshot.header())
+    print(snapshot.render_tables())
     return 0
 
 
@@ -86,6 +196,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--small", action="store_true", help="use the miniature world"
     )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress progress output on stderr",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser(
@@ -96,6 +210,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="write artifacts to this directory instead of stdout",
     )
     run_parser.set_defaults(handler=_cmd_run)
+
+    stream_parser = subparsers.add_parser(
+        "stream",
+        help="incremental streaming analysis with checkpoint/resume",
+    )
+    stream_parser.add_argument(
+        "--snapshot-every", type=int, default=0, metavar="DAYS",
+        help="emit a progress snapshot every N simulated days",
+    )
+    stream_parser.add_argument(
+        "--tables", action="store_true",
+        help="print full Table 1/2/3 at every snapshot, not just at the end",
+    )
+    stream_parser.add_argument(
+        "--batch-size", type=int, default=4096,
+        help="maximum records per merge batch",
+    )
+    stream_parser.add_argument(
+        "--until-day", type=int, default=None, metavar="DAY",
+        help="stop after consuming records before this simulated day",
+    )
+    stream_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write a resumable checkpoint here (updated at snapshots)",
+    )
+    stream_parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume from a checkpoint written by --checkpoint",
+    )
+    stream_parser.set_defaults(handler=_cmd_stream)
 
     rec_parser = subparsers.add_parser(
         "recommend", help="rank feeds for a research question"

@@ -69,9 +69,12 @@ def volume_coverage(
     volumes = _oracle_volumes(comparison, universe)
     total = sum(volumes.values())
     rows: List[VolumeCoverageRow] = []
+    # Summation in sorted-domain order: float addition is not
+    # associative, and the per-feed sets may be assembled in different
+    # orders by the batch and streaming paths, which must agree exactly.
     for name in names:
-        covered = sum(volumes.get(d, 0.0) for d in feed_sets[name])
-        benign = sum(volumes.get(d, 0.0) for d in benign_sets[name])
+        covered = sum(volumes.get(d, 0.0) for d in sorted(feed_sets[name]))
+        benign = sum(volumes.get(d, 0.0) for d in sorted(benign_sets[name]))
         if total > 0:
             rows.append(
                 VolumeCoverageRow(name, covered / total, benign / total)

@@ -24,7 +24,13 @@ timestamp) sighting records:
 :func:`standard_feed_suite` builds the paper's ten feeds.
 """
 
-from repro.feeds.base import FeedDataset, FeedRecord, FeedCollector, FeedType
+from repro.feeds.base import (
+    FeedCollector,
+    FeedDataset,
+    FeedRecord,
+    FeedStats,
+    FeedType,
+)
 from repro.feeds.mx_honeypot import MxHoneypotConfig, MxHoneypotFeed
 from repro.feeds.honey_account import HoneyAccountConfig, HoneyAccountFeed
 from repro.feeds.botnet import BotnetFeedConfig, BotnetFeed
@@ -41,6 +47,7 @@ __all__ = [
     "FeedCollector",
     "FeedDataset",
     "FeedRecord",
+    "FeedStats",
     "FeedType",
     "HoneyAccountConfig",
     "HoneyAccountFeed",

@@ -4,7 +4,17 @@ from __future__ import annotations
 
 import abc
 import enum
-from typing import Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Protocol,
+    Set,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.ecosystem.world import World
 from repro.simtime import SimTime
@@ -29,6 +39,36 @@ class FeedRecord(NamedTuple):
     time: SimTime
 
 
+@runtime_checkable
+class FeedStats(Protocol):
+    """The statistics surface every analysis consumes.
+
+    Both the batch :class:`FeedDataset` (record-backed) and the
+    streaming :class:`~repro.stream.state.FeedAccumulator`
+    (counter-backed) satisfy this protocol, which is what lets
+    :class:`~repro.analysis.context.FeedComparison` serve either path
+    with identical results.
+    """
+
+    name: str
+    feed_type: FeedType
+    has_volume: bool
+
+    @property
+    def total_samples(self) -> int: ...
+
+    @property
+    def n_unique(self) -> int: ...
+
+    def unique_domains(self) -> Set[str]: ...
+
+    def domain_counts(self) -> EmpiricalDistribution: ...
+
+    def first_seen(self) -> Dict[str, SimTime]: ...
+
+    def last_seen(self) -> Dict[str, SimTime]: ...
+
+
 class FeedDataset:
     """The collected output of one feed over the measurement window.
 
@@ -49,6 +89,7 @@ class FeedDataset:
         self.feed_type = feed_type
         self.has_volume = has_volume
         self.records: List[FeedRecord] = list(records)
+        self._chronological: Optional[List[FeedRecord]] = None
         self._unique: Optional[Set[str]] = None
         self._counts: Optional[EmpiricalDistribution] = None
         self._first_seen: Optional[Dict[str, SimTime]] = None
@@ -112,6 +153,26 @@ class FeedDataset:
                     last[domain] = t
             self._last_seen = last
         return self._last_seen
+
+    def chronological_records(self) -> List[FeedRecord]:
+        """Records in non-decreasing time order (stream emission order).
+
+        Collector output is already time-sorted (``_finalize`` sorts),
+        in which case the record list itself is returned; otherwise a
+        stable-sorted copy is cached, preserving the original relative
+        order of same-minute sightings.  The streaming merge layer
+        requires this ordering for deterministic interleaving.
+        """
+        if self._chronological is None:
+            records = self.records
+            if all(
+                records[i].time <= records[i + 1].time
+                for i in range(len(records) - 1)
+            ):
+                self._chronological = records
+            else:
+                self._chronological = sorted(records, key=lambda r: r.time)
+        return self._chronological
 
     def restrict(self, domains: Iterable[str]) -> "FeedDataset":
         """A new dataset containing only records for *domains*."""

@@ -3,9 +3,15 @@
 Real deployments receive feeds as files and archive analysis outputs;
 this package provides the same affordances so the library can be used on
 externally-supplied feed data (one JSON record per sighting) rather than
-only on simulator output.
+only on simulator output.  :mod:`repro.io.checkpoint` adds versioned,
+atomically-written checkpoint files for resumable streaming runs.
 """
 
+from repro.io.checkpoint import (
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.io.serialization import (
     read_feed_jsonl,
     write_feed_jsonl,
@@ -21,7 +27,10 @@ from repro.io.url_ingest import (
 )
 
 __all__ = [
+    "CheckpointError",
     "IngestStats",
+    "read_checkpoint",
+    "write_checkpoint",
     "dedup_within_window",
     "ingest_url_file",
     "ingest_url_lines",

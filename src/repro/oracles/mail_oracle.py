@@ -126,8 +126,17 @@ class IncomingMailOracle:
         Counts are normalized to the largest submitted domain (the
         provider never discloses absolute volumes).  Domains the
         provider never saw are reported as 0.
+
+        Noise draws are applied in sorted-domain order, so the same
+        submitted set always yields the same report regardless of how
+        the caller assembled it (set iteration order is not stable
+        across equal-content sets; batch and streaming paths must
+        agree byte-for-byte).
         """
-        raw = {d: self._noisy(self.message_volume(d)) for d in set(domains)}
+        raw = {
+            d: self._noisy(self.message_volume(d))
+            for d in sorted(set(domains))
+        }
         peak = max(raw.values(), default=0.0)
         if peak <= 0:
             return {d: 0.0 for d in raw}

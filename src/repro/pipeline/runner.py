@@ -42,7 +42,12 @@ from repro.reporting.charts import (
     render_stacked_bars,
 )
 from repro.reporting.matrix import render_overlap_matrix, render_value_matrix
-from repro.reporting.tables import Table, format_count, format_percent
+from repro.reporting.paper_tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    table1_data,
+)
 from repro.simtime import MINUTES_PER_DAY, MINUTES_PER_HOUR
 
 #: Feeds measured in Figure 9 (all except Bot, whose domains barely
@@ -97,6 +102,25 @@ class PaperPipeline:
         """The (lazily built) analysis context."""
         return self.run().comparison
 
+    def stream_engine(self, batch_size: Optional[int] = None):
+        """A fresh :class:`~repro.stream.StreamEngine` over this run's data.
+
+        The engine replays the already-collected records incrementally;
+        draining it and snapshotting reproduces this pipeline's
+        Table 1/2/3 byte-for-byte.
+        """
+        from repro.stream.engine import StreamEngine
+        from repro.stream.merge import DEFAULT_BATCH_SIZE
+
+        result = self.run()
+        return StreamEngine(
+            result.world,
+            result.datasets,
+            seed=self.seed,
+            feed_order=self.feed_order,
+            batch_size=batch_size or DEFAULT_BATCH_SIZE,
+        )
+
     def _present_feeds(self, wanted: Sequence[str]) -> List[str]:
         present = set(self.run().datasets)
         return [name for name in wanted if name in present]
@@ -108,36 +132,16 @@ class PaperPipeline:
     def table1(self) -> Dict[str, Dict[str, int]]:
         """Feed summary: total samples and unique registered domains."""
         result = self.run()
-        order = self._present_feeds(self.feed_order)
-        return {
-            name: {
-                "samples": result.datasets[name].total_samples,
-                "unique": result.datasets[name].n_unique,
-            }
-            for name in order
-        }
+        return table1_data(
+            result.datasets, self._present_feeds(self.feed_order)
+        )
 
     def render_table1(self) -> str:
         """Table 1 in the paper's layout."""
-        table = Table(
-            ["Feed", "Type", "Domains", "Unique"],
-            title="Table 1: Summary of spam domain sources (feeds)",
-        )
         result = self.run()
-        for name, cells in self.table1().items():
-            dataset = result.datasets[name]
-            samples = (
-                "n/a"
-                if dataset.feed_type.value == "blacklist"
-                else format_count(cells["samples"])
-            )
-            table.add_row(
-                name,
-                dataset.feed_type.value.replace("_", " "),
-                samples,
-                format_count(cells["unique"]),
-            )
-        return table.render()
+        return render_table1(
+            result.datasets, self._present_feeds(self.feed_order)
+        )
 
     # ------------------------------------------------------------------
     # Table 2
@@ -151,20 +155,7 @@ class PaperPipeline:
 
     def render_table2(self) -> str:
         """Table 2 in the paper's layout."""
-        table = Table(
-            ["Feed", "DNS", "HTTP", "Tagged", "ODP", "Alexa"],
-            title="Table 2: Positive and negative indicators of feed purity",
-        )
-        for row in self.table2():
-            table.add_row(
-                row.feed,
-                format_percent(row.dns),
-                format_percent(row.http),
-                format_percent(row.tagged),
-                format_percent(row.odp),
-                format_percent(row.alexa),
-            )
-        return table.render()
+        return render_table2(self.table2())
 
     # ------------------------------------------------------------------
     # Table 3
@@ -178,26 +169,7 @@ class PaperPipeline:
 
     def render_table3(self) -> str:
         """Table 3 in the paper's layout."""
-        table = Table(
-            [
-                "Feed",
-                "All Total", "All Excl.",
-                "Live Total", "Live Excl.",
-                "Tagged Total", "Tagged Excl.",
-            ],
-            title="Table 3: Feed domain coverage",
-        )
-        for row in self.table3():
-            table.add_row(
-                row.feed,
-                format_count(row.total_all),
-                format_count(row.exclusive_all),
-                format_count(row.total_live),
-                format_count(row.exclusive_live),
-                format_count(row.total_tagged),
-                format_count(row.exclusive_tagged),
-            )
-        return table.render()
+        return render_table3(self.table3())
 
     # ------------------------------------------------------------------
     # Figures

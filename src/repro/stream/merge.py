@@ -1,0 +1,185 @@
+"""Event-ordered merging of per-feed record sequences.
+
+The collectors (and external JSONL feed files) each produce a
+time-sorted sequence of sightings.  :class:`RecordStream` interleaves
+any number of such sources into one simulation-time-ordered event
+stream, the way a live aggregation point would observe them arriving.
+
+Properties the rest of the streaming engine relies on:
+
+* **Deterministic order.**  Events are emitted by ``(time, source)``
+  with ties broken by source registration order, then by position
+  within the source.  Two runs over the same sources always produce
+  the same interleaving.
+* **Bounded batching / backpressure.**  Consumption is pull-based:
+  :meth:`next_batch` materializes at most ``batch_size`` events beyond
+  the underlying sequences, so a slow consumer never forces the merge
+  layer to buffer the world.
+* **Seekable cursors.**  The stream's complete position is the
+  per-source cursor vector (plus the emission high-water mark), which
+  is what a checkpoint stores and :meth:`seek` restores.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Mapping, NamedTuple, Optional, Sequence
+
+from repro.feeds.base import FeedRecord
+from repro.simtime import SimTime
+
+#: Default maximum number of events one batch may carry.
+DEFAULT_BATCH_SIZE = 4096
+
+
+class StreamEvent(NamedTuple):
+    """One merged sighting: which feed saw which domain, and when."""
+
+    time: SimTime
+    feed: str
+    domain: str
+
+
+class RecordStream:
+    """Merge per-feed record sequences in simulation-time order."""
+
+    def __init__(
+        self,
+        sources: Mapping[str, Sequence[FeedRecord]],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
+        if not sources:
+            raise ValueError("need at least one record source")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.feed_names: List[str] = list(sources)
+        self.batch_size = batch_size
+        self._sources: List[Sequence[FeedRecord]] = [
+            sources[name] for name in self.feed_names
+        ]
+        for name, records in zip(self.feed_names, self._sources):
+            for i in range(len(records) - 1):
+                if records[i].time > records[i + 1].time:
+                    raise ValueError(
+                        f"source {name!r} is not time-ordered at index {i}; "
+                        "pass FeedDataset.chronological_records()"
+                    )
+        self._cursors: List[int] = [0] * len(self._sources)
+        self._emitted = 0
+        self._position: Optional[SimTime] = None
+        self._heap: List = []
+        self._rebuild_heap()
+
+    # ------------------------------------------------------------------
+    # Position and cursors
+    # ------------------------------------------------------------------
+
+    @property
+    def cursors(self) -> Dict[str, int]:
+        """Per-feed consumed-record counts (the resumable position)."""
+        return dict(zip(self.feed_names, self._cursors))
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted so far."""
+        return self._emitted
+
+    @property
+    def position(self) -> Optional[SimTime]:
+        """Time of the most recently emitted event (None before any)."""
+        return self._position
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every source is fully consumed."""
+        return not self._heap
+
+    def peek_time(self) -> Optional[SimTime]:
+        """Time of the next event without consuming it."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def seek(self, cursors: Mapping[str, int]) -> None:
+        """Restore a cursor vector previously read from :attr:`cursors`."""
+        if set(cursors) != set(self.feed_names):
+            raise ValueError(
+                "cursor feeds do not match stream sources: "
+                f"{sorted(cursors)} vs {sorted(self.feed_names)}"
+            )
+        position: Optional[SimTime] = None
+        for index, name in enumerate(self.feed_names):
+            cursor = cursors[name]
+            size = len(self._sources[index])
+            if not 0 <= cursor <= size:
+                raise ValueError(
+                    f"cursor {cursor} out of range for feed {name!r} "
+                    f"(0..{size})"
+                )
+            self._cursors[index] = cursor
+            if cursor > 0:
+                t = self._sources[index][cursor - 1].time
+                if position is None or t > position:
+                    position = t
+        self._emitted = sum(self._cursors)
+        self._position = position
+        self._rebuild_heap()
+
+    def _rebuild_heap(self) -> None:
+        self._heap = [
+            (self._sources[i][c].time, i)
+            for i, c in enumerate(self._cursors)
+            if c < len(self._sources[i])
+        ]
+        heapq.heapify(self._heap)
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+
+    def next_batch(
+        self,
+        limit: Optional[int] = None,
+        until_time: Optional[SimTime] = None,
+    ) -> List[StreamEvent]:
+        """The next batch of events, in emission order.
+
+        Returns at most ``limit`` (default ``batch_size``) events, all
+        strictly before ``until_time`` when given.  An empty list means
+        no further events are available (before the bound).
+        """
+        cap = self.batch_size if limit is None else min(limit, self.batch_size)
+        batch: List[StreamEvent] = []
+        heap = self._heap
+        while heap and len(batch) < cap:
+            time, index = heap[0]
+            if until_time is not None and time >= until_time:
+                break
+            cursor = self._cursors[index]
+            record = self._sources[index][cursor]
+            batch.append(StreamEvent(time, self.feed_names[index], record.domain))
+            cursor += 1
+            self._cursors[index] = cursor
+            source = self._sources[index]
+            if cursor < len(source):
+                heapq.heapreplace(heap, (source[cursor].time, index))
+            else:
+                heapq.heappop(heap)
+        self._emitted += len(batch)
+        if batch:
+            self._position = batch[-1].time
+        return batch
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        """Drain the stream one bounded batch at a time."""
+        while True:
+            batch = self.next_batch()
+            if not batch:
+                return
+            yield from batch
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordStream(feeds={len(self.feed_names)}, "
+            f"emitted={self._emitted}, exhausted={self.exhausted})"
+        )

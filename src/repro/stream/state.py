@@ -1,0 +1,389 @@
+"""Online analysis state: per-feed and cross-feed accumulators.
+
+Every structure here is updatable in O(1) per event and snapshotable at
+any moment.  Two layers:
+
+* :class:`FeedAccumulator` -- one feed's running statistics (sample
+  count, unique domains, per-domain volume, first/last sighting).  It
+  satisfies the :class:`~repro.feeds.base.FeedStats` protocol, so a
+  drained accumulator can be dropped into
+  :class:`~repro.analysis.context.FeedComparison` and produce results
+  identical to the record-backed batch path.
+* :class:`StreamState` -- the whole suite plus cross-feed counters that
+  the batch analyses only derive at the end: per-domain occurrence
+  counts (exclusivity), pairwise intersection counts (the Figure 2
+  numerators over all domains), and the union size.  These power the
+  cheap always-current :meth:`online_coverage` view that needs no
+  oracle access at all.
+
+State serializes to a JSON-friendly payload.  Only the per-feed maps
+are stored; the cross-feed counters are re-derived on load, which keeps
+checkpoints smaller and structurally impossible to de-synchronize.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.feeds.base import FeedStats, FeedType
+from repro.simtime import SimTime
+from repro.stats.distributions import EmpiricalDistribution
+from repro.stream.merge import StreamEvent
+
+
+class StreamStateError(ValueError):
+    """Raised when a serialized state payload is invalid or mismatched."""
+
+
+class FeedAccumulator:
+    """One feed's running statistics, updated per sighting.
+
+    Interface-compatible with :class:`~repro.feeds.base.FeedDataset`
+    (the :class:`~repro.feeds.base.FeedStats` surface) minus the raw
+    record list -- memory stays proportional to *distinct* domains, not
+    to sightings.
+    """
+
+    def __init__(self, name: str, feed_type: FeedType, has_volume: bool = True):
+        self.name = name
+        self.feed_type = feed_type
+        self.has_volume = has_volume
+        self._samples = 0
+        self._counts: Dict[str, int] = {}
+        self._first: Dict[str, SimTime] = {}
+        self._last: Dict[str, SimTime] = {}
+        self._unique: Set[str] = set()
+
+    def add(self, domain: str, time: SimTime) -> bool:
+        """Absorb one sighting; True when *domain* is new to this feed."""
+        self._samples += 1
+        count = self._counts.get(domain)
+        if count is None:
+            self._counts[domain] = 1
+            self._first[domain] = time
+            self._last[domain] = time
+            self._unique.add(domain)
+            return True
+        self._counts[domain] = count + 1
+        if time < self._first[domain]:
+            self._first[domain] = time
+        if time > self._last[domain]:
+            self._last[domain] = time
+        return False
+
+    # -- FeedStats surface ---------------------------------------------
+
+    @property
+    def total_samples(self) -> int:
+        """Total sightings absorbed."""
+        return self._samples
+
+    @property
+    def n_unique(self) -> int:
+        """Number of distinct domains seen."""
+        return len(self._unique)
+
+    def unique_domains(self) -> Set[str]:
+        """Distinct domains seen so far (live view; do not mutate)."""
+        return self._unique
+
+    def domain_counts(self) -> EmpiricalDistribution:
+        """Empirical domain-volume distribution of sightings so far."""
+        return EmpiricalDistribution(
+            {d: float(c) for d, c in self._counts.items()}
+        )
+
+    def first_seen(self) -> Dict[str, SimTime]:
+        """Earliest sighting time per domain (live view)."""
+        return self._first
+
+    def last_seen(self) -> Dict[str, SimTime]:
+        """Latest sighting time per domain (live view)."""
+        return self._last
+
+    # -- Snapshot / serialization --------------------------------------
+
+    def freeze(self) -> "FrozenFeedStats":
+        """An immutable copy safe to analyze while streaming continues."""
+        return FrozenFeedStats(
+            name=self.name,
+            feed_type=self.feed_type,
+            has_volume=self.has_volume,
+            total_samples=self._samples,
+            counts=dict(self._counts),
+            first=dict(self._first),
+            last=dict(self._last),
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-friendly serialization of the accumulated state."""
+        return {
+            "name": self.name,
+            "type": self.feed_type.value,
+            "has_volume": self.has_volume,
+            "samples": self._samples,
+            # One row per domain keeps the payload compact and ordered.
+            "domains": [
+                [d, self._counts[d], self._first[d], self._last[d]]
+                for d in sorted(self._counts)
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "FeedAccumulator":
+        """Rebuild an accumulator serialized by :meth:`to_payload`."""
+        try:
+            acc = cls(
+                name=str(payload["name"]),
+                feed_type=FeedType(payload["type"]),
+                has_volume=bool(payload["has_volume"]),
+            )
+            for domain, count, first, last in payload["domains"]:
+                domain = str(domain)
+                acc._counts[domain] = int(count)
+                acc._first[domain] = int(first)
+                acc._last[domain] = int(last)
+                acc._unique.add(domain)
+            acc._samples = int(payload["samples"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StreamStateError(f"bad feed payload: {exc}") from exc
+        if acc._samples < sum(acc._counts.values()):
+            raise StreamStateError(
+                f"feed {acc.name!r}: sample count below per-domain total"
+            )
+        return acc
+
+    def __repr__(self) -> str:
+        return (
+            f"FeedAccumulator({self.name!r}, samples={self._samples}, "
+            f"unique={self.n_unique})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FrozenFeedStats:
+    """An immutable FeedStats snapshot decoupled from the live stream."""
+
+    name: str
+    feed_type: FeedType
+    has_volume: bool
+    total_samples: int
+    counts: Dict[str, int]
+    first: Dict[str, SimTime]
+    last: Dict[str, SimTime]
+
+    @property
+    def n_unique(self) -> int:
+        return len(self.counts)
+
+    def unique_domains(self) -> Set[str]:
+        return set(self.counts)
+
+    def domain_counts(self) -> EmpiricalDistribution:
+        return EmpiricalDistribution(
+            {d: float(c) for d, c in self.counts.items()}
+        )
+
+    def first_seen(self) -> Dict[str, SimTime]:
+        return self.first
+
+    def last_seen(self) -> Dict[str, SimTime]:
+        return self.last
+
+
+@dataclasses.dataclass(frozen=True)
+class OnlineCoverageRow:
+    """One feed's oracle-free running coverage numbers."""
+
+    feed: str
+    samples: int
+    unique: int
+    exclusive: int
+    union_fraction: float
+
+
+class StreamState:
+    """The full online state: all accumulators plus cross-feed counters."""
+
+    def __init__(self, feeds: Sequence[Tuple[str, FeedType, bool]]):
+        if not feeds:
+            raise ValueError("need at least one feed")
+        self.accumulators: Dict[str, FeedAccumulator] = {}
+        for name, feed_type, has_volume in feeds:
+            if name in self.accumulators:
+                raise ValueError(f"duplicate feed name {name!r}")
+            self.accumulators[name] = FeedAccumulator(
+                name, feed_type, has_volume
+            )
+        #: domain -> number of feeds that have seen it.
+        self._occurrences: Dict[str, int] = {}
+        #: domain -> sole owning feed, while exactly one feed has it.
+        self._sole_owner: Dict[str, str] = {}
+        #: feed -> number of domains currently exclusive to it.
+        self._exclusive: Dict[str, int] = {
+            name: 0 for name in self.accumulators
+        }
+        #: unordered feed pair -> |A ∩ B| over all-kind domains.
+        self._pair_counts: Dict[Tuple[str, str], int] = {}
+        self.records_processed = 0
+        self.clock: Optional[SimTime] = None
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update(self, event: StreamEvent) -> None:
+        """Absorb one merged stream event."""
+        time, feed, domain = event
+        try:
+            accumulator = self.accumulators[feed]
+        except KeyError:
+            raise StreamStateError(f"event for unknown feed {feed!r}")
+        is_new = accumulator.add(domain, time)
+        self.records_processed += 1
+        if self.clock is None or time > self.clock:
+            self.clock = time
+        if not is_new:
+            return
+        occurrences = self._occurrences.get(domain, 0)
+        if occurrences == 0:
+            self._occurrences[domain] = 1
+            self._sole_owner[domain] = feed
+            self._exclusive[feed] += 1
+            return
+        self._occurrences[domain] = occurrences + 1
+        if occurrences == 1:
+            previous = self._sole_owner.pop(domain)
+            self._exclusive[previous] -= 1
+        # Pairwise counters: this domain is newly shared with every
+        # feed that already had it.
+        for other, acc in self.accumulators.items():
+            if other != feed and domain in acc.unique_domains():
+                self._pair_counts[_pair_key(feed, other)] = (
+                    self._pair_counts.get(_pair_key(feed, other), 0) + 1
+                )
+
+    def update_batch(self, events: Iterable[StreamEvent]) -> None:
+        """Absorb a batch of merged events."""
+        for event in events:
+            self.update(event)
+
+    # ------------------------------------------------------------------
+    # Online (oracle-free) views
+    # ------------------------------------------------------------------
+
+    @property
+    def feed_names(self) -> List[str]:
+        """Feed mnemonics in registration order."""
+        return list(self.accumulators)
+
+    @property
+    def union_size(self) -> int:
+        """Distinct domains across all feeds so far."""
+        return len(self._occurrences)
+
+    def exclusive_count(self, feed: str) -> int:
+        """Domains currently seen by *feed* and no other."""
+        return self._exclusive[feed]
+
+    def pairwise_intersection(self, a: str, b: str) -> int:
+        """``|A ∩ B|`` over all-kind domains, as of now."""
+        if a == b:
+            return self.accumulators[a].n_unique
+        return self._pair_counts.get(_pair_key(a, b), 0)
+
+    def online_coverage(self) -> List[OnlineCoverageRow]:
+        """Running Table 1 / Table 3 ("all" kind) shaped numbers."""
+        union = self.union_size
+        rows = []
+        for name, acc in self.accumulators.items():
+            rows.append(
+                OnlineCoverageRow(
+                    feed=name,
+                    samples=acc.total_samples,
+                    unique=acc.n_unique,
+                    exclusive=self._exclusive[name],
+                    union_fraction=acc.n_unique / union if union else 0.0,
+                )
+            )
+        return rows
+
+    def freeze(self) -> Dict[str, FrozenFeedStats]:
+        """Immutable per-feed stats for snapshot-time analysis."""
+        return {
+            name: acc.freeze() for name, acc in self.accumulators.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-friendly serialization of the complete state."""
+        return {
+            "records_processed": self.records_processed,
+            "clock": self.clock,
+            "feeds": [
+                acc.to_payload() for acc in self.accumulators.values()
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "StreamState":
+        """Rebuild state serialized by :meth:`to_payload`.
+
+        Cross-feed counters are re-derived from the per-feed domain
+        maps rather than stored, so they can never drift out of sync
+        with the data they summarize.
+        """
+        try:
+            feed_payloads = list(payload["feeds"])
+            records_processed = int(payload["records_processed"])
+            clock = payload["clock"]
+        except (KeyError, TypeError) as exc:
+            raise StreamStateError(f"bad state payload: {exc}") from exc
+        accumulators = [
+            FeedAccumulator.from_payload(fp) for fp in feed_payloads
+        ]
+        state = cls(
+            [(a.name, a.feed_type, a.has_volume) for a in accumulators]
+        )
+        state.accumulators = {a.name: a for a in accumulators}
+        state.records_processed = records_processed
+        state.clock = None if clock is None else int(clock)
+        state._rederive_cross_feed()
+        return state
+
+    def _rederive_cross_feed(self) -> None:
+        self._occurrences = {}
+        self._sole_owner = {}
+        self._pair_counts = {}
+        names = list(self.accumulators)
+        for name in names:
+            for domain in self.accumulators[name].unique_domains():
+                count = self._occurrences.get(domain, 0)
+                self._occurrences[domain] = count + 1
+                if count == 0:
+                    self._sole_owner[domain] = name
+                elif count == 1:
+                    self._sole_owner.pop(domain, None)
+        self._exclusive = {name: 0 for name in self.accumulators}
+        for owner in self._sole_owner.values():
+            self._exclusive[owner] += 1
+        for i, a in enumerate(names):
+            set_a = self.accumulators[a].unique_domains()
+            for b in names[i + 1:]:
+                shared = len(set_a & self.accumulators[b].unique_domains())
+                if shared:
+                    self._pair_counts[_pair_key(a, b)] = shared
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamState(feeds={len(self.accumulators)}, "
+            f"records={self.records_processed}, union={self.union_size})"
+        )
+
+
+def _pair_key(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
