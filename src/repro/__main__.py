@@ -8,6 +8,8 @@ Subcommands:
                    order, with windowed snapshots and checkpoint/resume.
 * ``recommend`` -- rank feeds for a research question (Section 5).
 * ``filter``    -- evaluate feeds as blocking oracles.
+* ``lint``      -- run the reprolint determinism analyzer (REP001..006)
+                   over the source tree.
 
 All progress chatter goes to stderr through one ``--quiet``-aware
 helper; stdout carries only the analysis artifacts.
@@ -16,6 +18,7 @@ helper; stdout carries only the analysis artifacts.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Optional, Sequence
@@ -152,6 +155,39 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import repro
+    from repro.devtools import LintConfig, lint_paths, render_json, render_text
+    from repro.devtools.lint import LintError, has_errors
+
+    if args.schema_pin:
+        from repro.devtools.rules import compute_schema_pin
+        from repro.io import checkpoint
+
+        print(
+            compute_schema_pin(
+                checkpoint.CHECKPOINT_VERSION, checkpoint.CHECKPOINT_SCHEMAS
+            )
+        )
+        return 0
+
+    paths = args.paths or [os.path.dirname(os.path.abspath(repro.__file__))]
+    try:
+        config = LintConfig.with_disabled(tuple(args.disable))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        findings = lint_paths(paths, config)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_json(findings) if args.json else render_text(findings))
+    if findings and (args.strict or has_errors(findings)):
+        return 1
+    return 0
+
+
 def _cmd_recommend(args) -> int:
     pipeline = _build_pipeline(args)
     question = Question(args.question)
@@ -240,6 +276,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="resume from a checkpoint written by --checkpoint",
     )
     stream_parser.set_defaults(handler=_cmd_stream)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the reprolint determinism analyzer (REP001..REP006)",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the versioned JSON report instead of text",
+    )
+    lint_parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on any finding, warnings included",
+    )
+    lint_parser.add_argument(
+        "--disable", action="append", default=[], metavar="REPxxx",
+        help="disable a rule (repeatable)",
+    )
+    lint_parser.add_argument(
+        "--schema-pin", action="store_true",
+        help="print the expected CHECKPOINT_SCHEMA_PIN and exit",
+    )
+    lint_parser.set_defaults(handler=_cmd_lint)
 
     rec_parser = subparsers.add_parser(
         "recommend", help="rank feeds for a research question"

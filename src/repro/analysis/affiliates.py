@@ -78,17 +78,21 @@ def revenue_coverage(
     names = list(feeds) if feeds is not None else comparison.feed_names
     world = comparison.world
     rx = world.rx_program_id()
+    # Sorted-value summation: float addition is not associative, and
+    # results must not depend on affiliate-registry insertion order.
     total_revenue = sum(
-        a.annual_revenue
-        for a in world.affiliates.values()
-        if a.program_id == rx
+        sorted(
+            a.annual_revenue
+            for a in world.affiliates.values()
+            if a.program_id == rx
+        )
     )
     rows: List[RevenueCoverageRow] = []
     for name in names:
         covered_ids = comparison.rx_affiliates_of(name)
         covered = sum(
             world.affiliates[aid].annual_revenue
-            for aid in covered_ids
+            for aid in sorted(covered_ids)
             if aid in world.affiliates
         )
         rows.append(

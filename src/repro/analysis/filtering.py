@@ -76,8 +76,11 @@ def evaluate_filter(
     unknown = len(listed) - true_positives - benign_positives
 
     volumes = world.emitted_volume_by_domain()
+    # Sorted-domain summation everywhere below: float addition is not
+    # associative, and these sets/maps may be assembled in different
+    # orders by the batch and streaming paths, which must agree exactly.
     total_spam_volume = sum(
-        v for d, v in volumes.items() if d in spam_domains
+        v for d, v in sorted(volumes.items()) if d in spam_domains
     )
 
     blocked_volume = 0.0
@@ -96,10 +99,10 @@ def evaluate_filter(
                 timely_volume += placement.volume * remaining
 
     total_benign_volume = sum(
-        _benign_mail_volume(comparison, d) for d in benign
+        _benign_mail_volume(comparison, d) for d in sorted(benign)
     )
     collateral = sum(
-        _benign_mail_volume(comparison, d) for d in (listed & benign)
+        _benign_mail_volume(comparison, d) for d in sorted(listed & benign)
     )
 
     return FilterReport(

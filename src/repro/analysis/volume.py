@@ -67,7 +67,7 @@ def volume_coverage(
         universe |= members
 
     volumes = _oracle_volumes(comparison, universe)
-    total = sum(volumes.values())
+    total = sum(sorted(volumes.values()))
     rows: List[VolumeCoverageRow] = []
     # Summation in sorted-domain order: float addition is not
     # associative, and the per-feed sets may be assembled in different

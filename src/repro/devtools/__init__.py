@@ -1,0 +1,40 @@
+"""Development tooling: the ``reprolint`` static analyzer.
+
+The paper's comparison methodology is reproducible only because every
+stochastic draw and every floating-point accumulation in this codebase
+is deterministic.  ``reprolint`` enforces those invariants statically,
+as named, suppressible rules (REP001..REP006), so order-sensitivity
+bugs are caught at lint time instead of being rediscovered whenever a
+new execution path (streaming, sharding, ...) must match batch output
+byte-for-byte.
+
+Public surface:
+
+* :func:`repro.devtools.lint.lint_paths` -- run every rule over files
+  or directory trees and collect :class:`~repro.devtools.lint.Finding`s.
+* :class:`repro.devtools.config.LintConfig` -- per-rule severity and
+  enablement, plus ``# reprolint: disable=REPxxx`` pragma handling.
+* :mod:`repro.devtools.report` -- text and JSON renderings with
+  ``file:line`` anchors.
+"""
+
+from repro.devtools.config import (
+    DEFAULT_RULES,
+    LintConfig,
+    RuleInfo,
+    Severity,
+)
+from repro.devtools.lint import Finding, lint_paths, lint_source
+from repro.devtools.report import render_json, render_text
+
+__all__ = [
+    "DEFAULT_RULES",
+    "Finding",
+    "LintConfig",
+    "RuleInfo",
+    "Severity",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,181 @@
+"""The reprolint engine: walk files, run rules, collect findings.
+
+Entry points:
+
+* :func:`lint_source` -- one file's source text (REP001..REP005).
+* :func:`lint_paths` -- files and/or directory trees, including the
+  cross-file REP006 checkpoint-schema check.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.devtools.config import (
+    DEFAULT_RULES,
+    LintConfig,
+    Severity,
+    SuppressionIndex,
+    scan_pragmas,
+)
+from repro.devtools.rules import (
+    ModuleRuleVisitor,
+    RawFinding,
+    check_checkpoint_schema,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to ``path:line``."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def anchor(self) -> str:
+        """The clickable ``path:line`` location string."""
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (stable field set)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class LintError(ValueError):
+    """Raised when an input file cannot be read or parsed."""
+
+
+def _relative_package_path(path: str) -> Optional[str]:
+    """Path of *path* below the ``repro`` package root, if any."""
+    parts = os.path.abspath(path).replace("\\", "/").split("/")
+    for index in range(len(parts) - 1, 0, -1):
+        if parts[index - 1] == "repro":
+            return "/".join(parts[index:])
+    return None
+
+
+def _finalize(
+    raw: Sequence[RawFinding],
+    path: str,
+    suppressions: SuppressionIndex,
+    config: LintConfig,
+) -> List[Finding]:
+    enabled = set(config.enabled_rules())
+    findings = []
+    for hit in raw:
+        if hit.rule not in enabled:
+            continue
+        if suppressions.is_suppressed(hit.rule, hit.line):
+            continue
+        findings.append(
+            Finding(
+                rule=hit.rule,
+                severity=config.severity_of(hit.rule),
+                path=path,
+                line=hit.line,
+                col=hit.col,
+                message=hit.message,
+            )
+        )
+    return findings
+
+
+def lint_source(
+    path: str,
+    source: str,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Run the single-file rules over *source* (reported as *path*)."""
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot parse: {exc}") from exc
+    visitor = ModuleRuleVisitor(relpkg=_relative_package_path(path))
+    visitor.visit(tree)
+    return _finalize(visitor.findings, path, scan_pragmas(source), config)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield every ``.py`` file under *paths*, sorted and deduplicated."""
+    seen = set()
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [
+                    d for d in dirnames if d != "__pycache__"
+                ]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        collected.append(os.path.join(dirpath, filename))
+        else:
+            collected.append(path)
+    for path in sorted(collected):
+        if path not in seen:
+            seen.add(path)
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Lint files and directory trees; includes the cross-file REP006.
+
+    Findings come back sorted by ``(path, line, rule)``.
+    """
+    config = config or LintConfig()
+    findings: List[Finding] = []
+    trees: Dict[str, ast.Module] = {}
+    sources: Dict[str, str] = {}
+    for path in iter_python_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise LintError(f"{path}: cannot read: {exc}") from exc
+        sources[path] = source
+        try:
+            trees[path] = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise LintError(f"{path}: cannot parse: {exc}") from exc
+        visitor = ModuleRuleVisitor(relpkg=_relative_package_path(path))
+        visitor.visit(trees[path])
+        findings.extend(
+            _finalize(
+                visitor.findings, path, scan_pragmas(source), config
+            )
+        )
+    for path, raw in check_checkpoint_schema(trees).items():
+        findings.extend(
+            _finalize(raw, path, scan_pragmas(sources[path]), config)
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def has_errors(findings: Sequence[Finding]) -> bool:
+    """True when any finding carries ERROR severity."""
+    return any(f.severity is Severity.ERROR for f in findings)
+
+
+def rule_codes() -> List[str]:
+    """All known rule codes, sorted."""
+    return sorted(DEFAULT_RULES)

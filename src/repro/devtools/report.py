@@ -1,0 +1,73 @@
+"""Rendering lint findings as text or JSON.
+
+The JSON shape is versioned and stable so CI and editor integrations
+can depend on it:
+
+    {"format": "reprolint", "version": 1,
+     "findings": [{"rule": ..., "severity": ..., "path": ...,
+                   "line": ..., "col": ..., "message": ...}, ...],
+     "summary": {"total": N, "errors": N, "warnings": N,
+                 "by_rule": {"REP001": N, ...}}}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.devtools.config import DEFAULT_RULES, Severity
+from repro.devtools.lint import Finding
+
+#: Version of the JSON output shape.
+JSON_FORMAT_VERSION = 1
+
+
+def summarize(findings: Sequence[Finding]) -> Dict[str, object]:
+    """Counts by severity and rule."""
+    by_rule: Dict[str, int] = {}
+    errors = 0
+    warnings = 0
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        if finding.severity is Severity.ERROR:
+            errors += 1
+        else:
+            warnings += 1
+    return {
+        "total": len(findings),
+        "errors": errors,
+        "warnings": warnings,
+        "by_rule": {code: by_rule[code] for code in sorted(by_rule)},
+    }
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-oriented report: one ``path:line: RULE message`` per hit."""
+    if not findings:
+        return "reprolint: no findings"
+    lines: List[str] = []
+    for finding in findings:
+        title = DEFAULT_RULES[finding.rule].title
+        lines.append(
+            f"{finding.anchor}:{finding.col}: "
+            f"{finding.severity.value} {finding.rule} [{title}] "
+            f"{finding.message}"
+        )
+    summary = summarize(findings)
+    lines.append(
+        f"reprolint: {summary['total']} finding(s) "
+        f"({summary['errors']} error(s), "
+        f"{summary['warnings']} warning(s))"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-oriented report; round-trips through ``json.loads``."""
+    document = {
+        "format": "reprolint",
+        "version": JSON_FORMAT_VERSION,
+        "findings": [finding.to_dict() for finding in findings],
+        "summary": summarize(findings),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

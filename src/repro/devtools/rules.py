@@ -1,0 +1,543 @@
+"""AST visitors implementing the REP001..REP006 rules.
+
+The single-file rules (REP001..REP005) run in one pass per module via
+:class:`ModuleRuleVisitor`.  REP006 is cross-file (the checkpoint
+schema pin lives in ``io/checkpoint.py`` while payload producers live
+elsewhere) and is implemented by :func:`check_checkpoint_schema` over
+every module parsed in the lint run.
+
+All rules are heuristic in the way any useful linter is: they match
+the syntactic shapes this codebase actually uses, and every finding
+can be silenced with a ``# reprolint: disable=REPxxx`` pragma where
+the human knows better (e.g. an integer-valued accumulation, where
+order genuinely cannot matter).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.devtools.config import (
+    ACCUMULATION_PACKAGES,
+    SIMULATION_PACKAGES,
+)
+
+#: Stateful module-level functions of the :mod:`random` module (draw
+#: from or reset the hidden global stream).  ``random.Random`` is fine:
+#: it constructs an explicitly seeded, independent generator.
+RANDOM_MODULE_STATE = frozenset(
+    {
+        "random",
+        "seed",
+        "getstate",
+        "setstate",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "binomialvariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+    }
+)
+
+#: Wall-clock reads: ``time.<attr>`` calls that return host time.
+#: ``time.perf_counter`` is deliberately absent -- durations for
+#: progress reporting are harmless.
+TIME_MODULE_WALLCLOCK = frozenset(
+    {"time", "time_ns", "localtime", "gmtime", "ctime", "strftime"}
+)
+
+#: Wall-clock constructors on ``datetime``/``date`` objects.
+DATETIME_WALLCLOCK = frozenset({"now", "today", "utcnow"})
+
+#: Methods of ``random.Random`` that consume the stream.
+RNG_DRAW_METHODS = RANDOM_MODULE_STATE - {"seed", "getstate", "setstate"}
+
+#: Method names whose return value is an unordered (or
+#: insertion-ordered, hence path-dependent) collection view.
+UNORDERED_VIEW_METHODS = frozenset({"values", "items", "unique_domains"})
+
+#: Binary set operators (``&``, ``|``, ``^``); ``-`` is excluded
+#: because numeric subtraction is far more common.
+_SET_BINOPS = (ast.BitAnd, ast.BitOr, ast.BitXor)
+
+
+def _is_sorted_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "sorted"
+    )
+
+
+def _is_unordered_iterable(node: ast.AST) -> bool:
+    """Heuristic: does this expression iterate in container order that
+    may differ between equal-content collections?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in UNORDERED_VIEW_METHODS
+        ):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return True
+    return False
+
+
+def _is_order_free_value(node: ast.AST) -> bool:
+    """True for expressions whose sum is order-independent (integers)."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, int)  # bool is an int subtype
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("int", "len", "ord", "bool")
+    if isinstance(node, ast.IfExp):
+        return _is_order_free_value(node.body) and _is_order_free_value(
+            node.orelse
+        )
+    return False
+
+
+def _rng_receiver(node: ast.AST) -> bool:
+    """Does this expression look like a ``random.Random`` instance?"""
+    if isinstance(node, ast.Name):
+        return "rng" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "rng" in node.attr.lower()
+    return False
+
+
+@dataclasses.dataclass(frozen=True)
+class RawFinding:
+    """A rule hit before severity assignment and pragma filtering."""
+
+    rule: str
+    line: int
+    col: int
+    message: str
+
+
+def _first_package(relpkg: Optional[str]) -> Optional[str]:
+    if relpkg is None:
+        return None
+    return relpkg.replace("\\", "/").split("/", 1)[0]
+
+
+class ModuleRuleVisitor(ast.NodeVisitor):
+    """One-pass visitor for the single-file rules REP001..REP005.
+
+    Parameters
+    ----------
+    relpkg:
+        Path of the module relative to the ``repro`` package root
+        (e.g. ``"analysis/volume.py"``), or None for files outside the
+        package.  Scoped rules (REP003, REP004) apply inside their
+        scope packages and -- so fixtures exercise them -- to files
+        outside the package entirely.
+    """
+
+    def __init__(self, relpkg: Optional[str] = None):
+        first = _first_package(relpkg)
+        outside = relpkg is None
+        self.check_wallclock = outside or first in SIMULATION_PACKAGES
+        self.check_accumulation = outside or first in ACCUMULATION_PACKAGES
+        self.findings: List[RawFinding] = []
+        #: Stack of loop/comprehension iterables that are unordered.
+        self._unordered_loops: List[ast.AST] = []
+
+    # -- helpers -------------------------------------------------------
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            RawFinding(
+                rule=rule,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    # -- REP001 / REP003: imports --------------------------------------
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            bad = sorted(
+                alias.name
+                for alias in node.names
+                if alias.name in RANDOM_MODULE_STATE
+            )
+            if bad:
+                self._emit(
+                    "REP001",
+                    node,
+                    "importing module-level random state "
+                    f"({', '.join(bad)}) from 'random'; derive a "
+                    "per-component stream with stats.rng.derive_rng",
+                )
+        if self.check_wallclock and node.module == "time":
+            bad = sorted(
+                alias.name
+                for alias in node.names
+                if alias.name in TIME_MODULE_WALLCLOCK
+            )
+            if bad:
+                self._emit(
+                    "REP003",
+                    node,
+                    f"importing wall-clock function ({', '.join(bad)}) "
+                    "from 'time' in simulation code; use the simulation "
+                    "clock (repro.simtime)",
+                )
+        self.generic_visit(node)
+
+    # -- Calls: REP001, REP002, REP003, REP004, REP005 -----------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            self._check_attribute_call(node, func)
+        elif isinstance(func, ast.Name):
+            if func.id == "hash":
+                self._emit(
+                    "REP002",
+                    node,
+                    "builtin hash() is salted per process "
+                    "(PYTHONHASHSEED) and must not feed seeds or "
+                    "derived keys; use stats.rng.derive_seed",
+                )
+            elif func.id == "sum" and self.check_accumulation:
+                self._check_sum(node)
+        self.generic_visit(node)
+
+    def _check_attribute_call(
+        self, node: ast.Call, func: ast.Attribute
+    ) -> None:
+        value = func.value
+        if (
+            isinstance(value, ast.Name)
+            and value.id == "random"
+            and func.attr in RANDOM_MODULE_STATE
+        ):
+            self._emit(
+                "REP001",
+                node,
+                f"random.{func.attr}() uses the hidden module-level "
+                "stream; derive a per-component stream with "
+                "stats.rng.derive_rng",
+            )
+        if self.check_wallclock:
+            if (
+                isinstance(value, ast.Name)
+                and value.id == "time"
+                and func.attr in TIME_MODULE_WALLCLOCK
+            ):
+                self._emit(
+                    "REP003",
+                    node,
+                    f"time.{func.attr}() reads the wall clock in "
+                    "simulation code; use the simulation clock "
+                    "(repro.simtime)",
+                )
+            if func.attr in DATETIME_WALLCLOCK and self._is_datetime_ref(
+                value
+            ):
+                self._emit(
+                    "REP003",
+                    node,
+                    f"datetime wall-clock call .{func.attr}() in "
+                    "simulation code; use the simulation clock "
+                    "(repro.simtime)",
+                )
+        if (
+            func.attr in RNG_DRAW_METHODS
+            and _rng_receiver(value)
+            and self._unordered_loops
+        ):
+            self._emit(
+                "REP005",
+                node,
+                f"RNG draw .{func.attr}() while iterating an unordered "
+                "collection consumes the stream in container order; "
+                "iterate sorted(...) instead",
+            )
+
+    @staticmethod
+    def _is_datetime_ref(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in ("datetime", "date")
+        if isinstance(node, ast.Attribute):
+            return node.attr in ("datetime", "date")
+        return False
+
+    # -- REP004: unsorted float accumulation ---------------------------
+
+    def _check_sum(self, node: ast.Call) -> None:
+        if not node.args:
+            return
+        arg = node.args[0]
+        if _is_sorted_call(arg):
+            return
+        if _is_unordered_iterable(arg):
+            self._emit(
+                "REP004",
+                node,
+                "sum() over an unordered iterable accumulates floats "
+                "in container order; wrap the iterable in sorted(...)",
+            )
+            return
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+            if _is_order_free_value(arg.elt):
+                return
+            first = arg.generators[0]
+            if _is_sorted_call(first.iter):
+                return
+            if _is_unordered_iterable(first.iter):
+                self._emit(
+                    "REP004",
+                    node,
+                    "sum() over a comprehension of an unordered "
+                    "iterable accumulates floats in container order; "
+                    "iterate sorted(...) instead",
+                )
+
+    # -- Loop tracking for REP004 (AugAssign) and REP005 ---------------
+
+    def _loop_is_unordered(self, iter_node: ast.AST) -> bool:
+        return not _is_sorted_call(iter_node) and _is_unordered_iterable(
+            iter_node
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        unordered = self._loop_is_unordered(node.iter)
+        if unordered:
+            self._unordered_loops.append(node.iter)
+        self.generic_visit(node)
+        if unordered:
+            self._unordered_loops.pop()
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        pushed = 0
+        for comp in node.generators:  # type: ignore[attr-defined]
+            if self._loop_is_unordered(comp.iter):
+                self._unordered_loops.append(comp.iter)
+                pushed += 1
+        self.generic_visit(node)
+        for _ in range(pushed):
+            self._unordered_loops.pop()
+
+    visit_GeneratorExp = _visit_comprehension
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if (
+            self.check_accumulation
+            and isinstance(node.op, ast.Add)
+            and self._unordered_loops
+            and not _is_order_free_value(node.value)
+        ):
+            self._emit(
+                "REP004",
+                node,
+                "augmented accumulation inside a loop over an "
+                "unordered collection adds floats in container order; "
+                "iterate sorted(...) instead",
+            )
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# REP006: checkpoint schema pinning (cross-file)
+# ----------------------------------------------------------------------
+
+#: Constant names the schema module must declare.
+SCHEMA_VERSION_NAME = "CHECKPOINT_VERSION"
+SCHEMA_TABLE_NAME = "CHECKPOINT_SCHEMAS"
+SCHEMA_PIN_NAME = "CHECKPOINT_SCHEMA_PIN"
+#: Constant naming a payload producer's checkpoint kind.
+KIND_CONST_NAME = "CHECKPOINT_KIND"
+#: Function whose returned dict literal is the checkpoint payload.
+PAYLOAD_FUNC_NAME = "checkpoint_payload"
+
+
+def compute_schema_pin(
+    version: int, schemas: Mapping[str, Sequence[str]]
+) -> str:
+    """The expected ``CHECKPOINT_SCHEMA_PIN`` for *version*/*schemas*.
+
+    The pin embeds the version, so any field change forces an edit to
+    the pin and makes the absent version bump visible in review.
+    """
+    canonical = json.dumps(
+        {kind: list(fields) for kind, fields in schemas.items()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+    return f"v{version}:{digest}"
+
+
+def _module_constants(tree: ast.Module) -> Dict[str, ast.AST]:
+    constants: Dict[str, ast.AST] = {}
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and value is not None:
+                constants[target.id] = value
+    return constants
+
+
+def _literal(node: ast.AST) -> object:
+    try:
+        return ast.literal_eval(node)
+    except (ValueError, SyntaxError):
+        return None
+
+
+def _payload_dict_keys(tree: ast.Module) -> Optional[Tuple[int, List[str]]]:
+    """(line, keys) of the dict literal returned by checkpoint_payload."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == PAYLOAD_FUNC_NAME
+        ):
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Return) and isinstance(
+                    stmt.value, ast.Dict
+                ):
+                    keys = [
+                        key.value
+                        for key in stmt.value.keys
+                        if isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                    ]
+                    return stmt.value.lineno, keys
+    return None
+
+
+def check_checkpoint_schema(
+    modules: Mapping[str, ast.Module],
+) -> Dict[str, List[RawFinding]]:
+    """Run REP006 over every parsed module of the lint run.
+
+    Returns findings keyed by file path.  The *schema module* is any
+    module declaring ``CHECKPOINT_SCHEMA_PIN``; *payload producers*
+    are modules declaring both ``CHECKPOINT_KIND`` and a
+    ``checkpoint_payload`` function returning a dict literal.
+    """
+    findings: Dict[str, List[RawFinding]] = {}
+
+    def emit(path: str, line: int, message: str) -> None:
+        findings.setdefault(path, []).append(
+            RawFinding(rule="REP006", line=line, col=0, message=message)
+        )
+
+    schema_path: Optional[str] = None
+    schemas: Mapping[str, Sequence[str]] = {}
+    for path in sorted(modules):
+        tree = modules[path]
+        constants = _module_constants(tree)
+        pin_node = constants.get(SCHEMA_PIN_NAME)
+        if pin_node is None:
+            continue
+        schema_path = path
+        version_node = constants.get(SCHEMA_VERSION_NAME)
+        table_node = constants.get(SCHEMA_TABLE_NAME)
+        pin = _literal(pin_node)
+        version = _literal(version_node) if version_node else None
+        table = _literal(table_node) if table_node else None
+        if not isinstance(version, int):
+            emit(
+                path,
+                pin_node.lineno,
+                f"{SCHEMA_PIN_NAME} declared without an integer "
+                f"{SCHEMA_VERSION_NAME}",
+            )
+            continue
+        if not isinstance(table, dict) or not all(
+            isinstance(kind, str)
+            and isinstance(fields, (list, tuple))
+            and all(isinstance(f, str) for f in fields)
+            for kind, fields in table.items()
+        ):
+            emit(
+                path,
+                pin_node.lineno,
+                f"{SCHEMA_PIN_NAME} declared without a literal "
+                f"{SCHEMA_TABLE_NAME} mapping kind -> field names",
+            )
+            continue
+        schemas = table
+        expected = compute_schema_pin(version, table)
+        if pin != expected:
+            emit(
+                path,
+                pin_node.lineno,
+                "checkpoint schema fields changed without a version "
+                f"bump: {SCHEMA_PIN_NAME} is {pin!r} but the declared "
+                f"schemas pin to {expected!r}; bump "
+                f"{SCHEMA_VERSION_NAME} and re-pin (see "
+                "'python -m repro lint --schema-pin')",
+            )
+        break
+
+    for path in sorted(modules):
+        tree = modules[path]
+        constants = _module_constants(tree)
+        kind_node = constants.get(KIND_CONST_NAME)
+        payload = _payload_dict_keys(tree)
+        if kind_node is None or payload is None:
+            continue
+        kind = _literal(kind_node)
+        if not isinstance(kind, str):
+            continue
+        line, keys = payload
+        if schema_path is None:
+            continue  # no schema module in this lint run; nothing to pin against
+        declared = schemas.get(kind)
+        if declared is None:
+            emit(
+                path,
+                kind_node.lineno,
+                f"checkpoint kind {kind!r} has no entry in "
+                f"{SCHEMA_TABLE_NAME} ({schema_path})",
+            )
+            continue
+        if sorted(keys) != sorted(declared):
+            emit(
+                path,
+                line,
+                f"checkpoint payload fields {sorted(keys)} do not match "
+                f"the pinned schema {sorted(declared)} for kind "
+                f"{kind!r}; update {SCHEMA_TABLE_NAME} in "
+                f"{schema_path}, bump {SCHEMA_VERSION_NAME}, and re-pin",
+            )
+    return findings

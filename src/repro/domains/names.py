@@ -15,7 +15,17 @@ Three name populations matter to the paper's analysis:
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import (
+    Callable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 _VOWELS = "aeiou"
 _CONSONANTS = "bcdfghjklmnpqrstvwxyz"
@@ -46,19 +56,21 @@ GENERIC_SUFFIX_WORDS: Sequence[str] = (
 )
 
 #: TLD mixes (weights need not sum to 1).
-SPAM_TLD_WEIGHTS = (
+TldWeights = Sequence[Tuple[str, float]]
+
+SPAM_TLD_WEIGHTS: TldWeights = (
     ("com", 0.55), ("net", 0.15), ("org", 0.08), ("info", 0.08),
     ("biz", 0.06), ("ru", 0.05), ("us", 0.03),
 )
-BENIGN_TLD_WEIGHTS = (
+BENIGN_TLD_WEIGHTS: TldWeights = (
     ("com", 0.60), ("org", 0.12), ("net", 0.10), ("edu", 0.04),
     ("gov", 0.02), ("de", 0.04), ("co.uk", 0.04), ("info", 0.02),
     ("us", 0.02),
 )
-DGA_TLD_WEIGHTS = (("com", 0.7), ("net", 0.2), ("info", 0.1),)
+DGA_TLD_WEIGHTS: TldWeights = (("com", 0.7), ("net", 0.2), ("info", 0.1),)
 
 
-def _pick_tld(rng: random.Random, weights) -> str:
+def _pick_tld(rng: random.Random, weights: TldWeights) -> str:
     total = sum(w for _, w in weights)
     x = rng.random() * total
     acc = 0.0
@@ -82,11 +94,13 @@ class _BaseNameGenerator:
     merge two unrelated campaigns' ground truth.
     """
 
-    def __init__(self, rng: random.Random, issued: Optional[Set[str]] = None):
+    def __init__(
+        self, rng: random.Random, issued: Optional[Set[str]] = None
+    ) -> None:
         self._rng = rng
         self._issued: Set[str] = issued if issued is not None else set()
 
-    def _issue(self, make_candidate) -> str:
+    def _issue(self, make_candidate: Callable[[], str]) -> str:
         """Draw candidates until one is new; suffix a counter if needed."""
         for _ in range(64):
             name = make_candidate()
@@ -119,7 +133,7 @@ class SpamNameGenerator(_BaseNameGenerator):
     words, optional glue syllables and digits, a spam-skewed TLD mix.
     """
 
-    _CATEGORY_WORDS = {
+    _CATEGORY_WORDS: Mapping[str, Sequence[str]] = {
         "pharma": PHARMA_WORDS,
         "replica": REPLICA_WORDS,
         "software": SOFTWARE_WORDS,
@@ -130,7 +144,7 @@ class SpamNameGenerator(_BaseNameGenerator):
         rng: random.Random,
         category: str = "pharma",
         issued: Optional[Set[str]] = None,
-    ):
+    ) -> None:
         super().__init__(rng, issued)
         if category not in self._CATEGORY_WORDS:
             raise ValueError(f"unknown goods category {category!r}")
@@ -198,7 +212,7 @@ class DgaNameGenerator(_BaseNameGenerator):
         min_len: int = 9,
         max_len: int = 16,
         issued: Optional[Set[str]] = None,
-    ):
+    ) -> None:
         super().__init__(rng, issued)
         if not (3 <= min_len <= max_len):
             raise ValueError("need 3 <= min_len <= max_len")
@@ -238,7 +252,13 @@ def is_plausible_dga(domain: str) -> bool:
     return vowels / len(label) < 0.30
 
 
-def unique_names(generator, n: int) -> List[str]:
+class NameGenerator(Protocol):
+    """Structural type for anything with a ``generate() -> str`` method."""
+
+    def generate(self) -> str: ...
+
+
+def unique_names(generator: NameGenerator, n: int) -> List[str]:
     """Convenience: pull *n* names from any generator with ``generate``."""
     return [generator.generate() for _ in range(n)]
 

@@ -93,7 +93,7 @@ class PublicSuffixTable:
     the public suffix).
     """
 
-    def __init__(self, rules: Iterable[str] = DEFAULT_SUFFIXES):
+    def __init__(self, rules: Iterable[str] = DEFAULT_SUFFIXES) -> None:
         self._exact: Dict[str, int] = {}
         self._wildcards: Dict[str, int] = {}
         self._exceptions: Dict[str, int] = {}

@@ -17,13 +17,27 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Any, Dict
+from typing import Any, Dict, Tuple
 
 #: Envelope format marker.
 CHECKPOINT_FORMAT = "repro-checkpoint"
 
 #: Current envelope version; bump on incompatible payload changes.
 CHECKPOINT_VERSION = 1
+
+#: Top-level payload fields of every known checkpoint kind.  This is
+#: the schema contract between writers (``checkpoint_payload`` in
+#: ``repro.stream.engine``) and readers: reprolint's REP006 checks
+#: that each producer's payload dict matches its entry here.
+CHECKPOINT_SCHEMAS: Dict[str, Tuple[str, ...]] = {
+    "stream-engine": ("seed", "feed_order", "cursors", "state"),
+}
+
+#: Fingerprint pinning (CHECKPOINT_VERSION, CHECKPOINT_SCHEMAS).
+#: REP006 recomputes this from the declarations above; editing the
+#: schema without bumping the version (and re-pinning) fails the lint.
+#: Regenerate with ``python -m repro lint --schema-pin``.
+CHECKPOINT_SCHEMA_PIN = "v1:f6192d47f401"
 
 
 class CheckpointError(ValueError):

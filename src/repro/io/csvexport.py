@@ -5,10 +5,10 @@ from __future__ import annotations
 import csv
 import dataclasses
 import io
-from typing import List, Sequence
+from typing import Any, List, Sequence
 
 
-def rows_to_csv(rows: Sequence) -> str:
+def rows_to_csv(rows: Sequence[Any]) -> str:
     """Render a list of dataclass instances as CSV text.
 
     All rows must share one dataclass type; field names become the
@@ -32,7 +32,7 @@ def rows_to_csv(rows: Sequence) -> str:
     return buffer.getvalue()
 
 
-def write_csv(rows: Sequence, path: str) -> None:
+def write_csv(rows: Sequence[Any], path: str) -> None:
     """Write :func:`rows_to_csv` output to *path*."""
     text = rows_to_csv(rows)
     with open(path, "w", encoding="utf-8", newline="") as handle:

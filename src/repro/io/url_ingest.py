@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.domains.parse import try_registered_domain
 from repro.domains.url import try_domain_of_url
@@ -52,7 +52,7 @@ class IngestStats:
         return 1.0 - self.accepted / self.total
 
 
-def normalize_record(obj: dict) -> Tuple[Optional[FeedRecord], str]:
+def normalize_record(obj: Mapping[str, Any]) -> Tuple[Optional[FeedRecord], str]:
     """Normalize one raw record; returns (record-or-None, reason).
 
     Reasons: ``"ok"``, ``"missing_fields"``, ``"unparseable_url"``,

@@ -9,6 +9,7 @@ snapshots bracket the window by 16 months on either side.
 from __future__ import annotations
 
 import dataclasses
+from typing import Iterator, Tuple
 
 MINUTES_PER_HOUR = 60
 MINUTES_PER_DAY = 24 * MINUTES_PER_HOUR
@@ -104,7 +105,7 @@ class Timeline:
         """Return the (zero-based) day index of minute *t*."""
         return (t - self.start) // MINUTES_PER_DAY
 
-    def iter_days(self):
+    def iter_days(self) -> Iterator[Tuple[int, SimTime]]:
         """Yield ``(day_index, day_start_minute)`` pairs over the window."""
         day = 0
         t = self.start

@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Hashable, Iterable, Sequence, Set
+from typing import TYPE_CHECKING, Hashable, Iterable, List, Sequence, Set
 
 from repro.stats.rng import derive_rng
+
+if TYPE_CHECKING:
+    from repro.analysis.context import FeedComparison
 
 
 @dataclasses.dataclass(frozen=True)
@@ -69,7 +72,7 @@ def bootstrap_fraction(
     estimate = sum(1 for item in universe if item in member_set) / n
 
     rng = derive_rng(seed, "bootstrap")
-    stats = []
+    stats: List[float] = []
     for _ in range(replicates):
         hits = 0
         for _ in range(n):
@@ -90,7 +93,7 @@ def bootstrap_fraction(
 
 
 def bootstrap_coverage(
-    comparison,
+    comparison: "FeedComparison",
     feed: str,
     kind: str = "tagged",
     replicates: int = 1_000,

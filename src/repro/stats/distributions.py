@@ -12,7 +12,19 @@ from __future__ import annotations
 import bisect
 import math
 import random
-from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+T = TypeVar("T")
 
 
 def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
@@ -35,7 +47,9 @@ def zipf_sample(rng: random.Random, n: int, exponent: float = 1.0) -> int:
     return weighted_choice(rng, list(range(n)), weights)
 
 
-def weighted_choice(rng: random.Random, items: Sequence, weights: Sequence[float]):
+def weighted_choice(
+    rng: random.Random, items: Sequence[T], weights: Sequence[float]
+) -> T:
     """Pick one item according to *weights* (need not be normalized)."""
     if len(items) != len(weights):
         raise ValueError("items and weights must have equal length")
@@ -107,7 +121,7 @@ class EmpiricalDistribution:
     distribution over spam-advertised domains.
     """
 
-    def __init__(self, counts: Mapping[Hashable, float]):
+    def __init__(self, counts: Mapping[Hashable, float]) -> None:
         cleaned: Dict[Hashable, float] = {}
         for key, count in counts.items():
             if count < 0:
@@ -131,7 +145,7 @@ class EmpiricalDistribution:
         return self._total
 
     @property
-    def support(self) -> frozenset:
+    def support(self) -> FrozenSet[Hashable]:
         """The set of outcomes with positive probability."""
         return frozenset(self._counts)
 

@@ -34,9 +34,9 @@ def variation_distance(
         return 0.0
     if p.total == 0 or q.total == 0:
         return 1.0
-    keys = p.support | q.support
+    union = p.support | q.support
     delta = 0.0
-    for key in keys:
+    for key in union:
         delta += abs(p.probability(key) - q.probability(key))
     return min(1.0, delta / 2.0)
 

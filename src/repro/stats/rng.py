@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterator
+from typing import Iterator, Set
 
 
 def derive_seed(root_seed: int, label: str) -> int:
@@ -46,9 +46,9 @@ class SeedSequence:
     draw; fresh streams with the same label are identical.)
     """
 
-    def __init__(self, root_seed: int):
+    def __init__(self, root_seed: int) -> None:
         self.root_seed = int(root_seed)
-        self._issued: set = set()
+        self._issued: Set[str] = set()
 
     def rng(self, label: str) -> random.Random:
         """Return the RNG stream for *label* (fresh instance each call)."""

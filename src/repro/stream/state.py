@@ -148,7 +148,10 @@ class FeedAccumulator:
             acc._samples = int(payload["samples"])
         except (KeyError, TypeError, ValueError) as exc:
             raise StreamStateError(f"bad feed payload: {exc}") from exc
-        if acc._samples < sum(acc._counts.values()):
+        per_domain = sum(  # reprolint: disable=REP004 -- int counts
+            acc._counts.values()
+        )
+        if acc._samples < per_domain:
             raise StreamStateError(
                 f"feed {acc.name!r}: sample count below per-domain total"
             )

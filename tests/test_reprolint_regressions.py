@@ -1,0 +1,78 @@
+"""Order-invariance regressions for the bugs reprolint surfaced.
+
+REP004 flagged unsorted float accumulations in volume coverage,
+revenue coverage, and filter evaluation.  These tests pin the fix:
+the same world and feed content, presented with every container
+assembled in a different order (reversed record lists, reversed
+dataset mapping), must produce *bit-identical* results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import FeedComparison
+from repro.analysis.affiliates import revenue_coverage
+from repro.analysis.filtering import evaluate_all_filters
+from repro.analysis.volume import volume_coverage
+from repro.feeds.base import FeedDataset
+
+SMALL_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def permuted_comparison(small_world, small_datasets):
+    """The same feeds with every container built in reversed order."""
+    permuted = {}
+    for name in reversed(list(small_datasets)):
+        dataset = small_datasets[name]
+        permuted[name] = FeedDataset(
+            name=dataset.name,
+            feed_type=dataset.feed_type,
+            records=list(reversed(dataset.records)),
+            has_volume=dataset.has_volume,
+        )
+    return FeedComparison(small_world, permuted, seed=SMALL_SEED)
+
+
+def as_ordered(rows):
+    return sorted(rows, key=lambda row: row.feed)
+
+
+class TestVolumeCoverageOrderInvariance:
+    @pytest.mark.parametrize("kind", ["live", "tagged"])
+    def test_bit_identical_fractions(
+        self, small_comparison, permuted_comparison, kind
+    ):
+        baseline = as_ordered(volume_coverage(small_comparison, kind))
+        shuffled = as_ordered(volume_coverage(permuted_comparison, kind))
+        assert baseline == shuffled  # exact float equality, not approx
+
+
+class TestRevenueCoverageOrderInvariance:
+    def test_bit_identical_revenue(
+        self, small_comparison, permuted_comparison
+    ):
+        baseline = as_ordered(revenue_coverage(small_comparison))
+        shuffled = as_ordered(revenue_coverage(permuted_comparison))
+        assert baseline == shuffled
+
+
+class TestFilterEvaluationOrderInvariance:
+    def test_bit_identical_reports(
+        self, small_comparison, permuted_comparison
+    ):
+        baseline = evaluate_all_filters(small_comparison)
+        shuffled = evaluate_all_filters(permuted_comparison)
+        assert set(baseline) == set(shuffled)
+        for feed, report in baseline.items():
+            assert report == shuffled[feed]  # frozen dataclass equality
+
+
+class TestMailOracleAssemblyOrderInvariance:
+    def test_query_ignores_submission_order(self, small_comparison):
+        """The oracle applies noise in sorted order (PR 1 fix)."""
+        domains = sorted(small_comparison.union_domains())[:50]
+        forward = small_comparison.mail.query(domains)
+        backward = small_comparison.mail.query(list(reversed(domains)))
+        assert forward == backward
