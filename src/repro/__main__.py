@@ -8,7 +8,7 @@ Subcommands:
                    order, with windowed snapshots and checkpoint/resume.
 * ``recommend`` -- rank feeds for a research question (Section 5).
 * ``filter``    -- evaluate feeds as blocking oracles.
-* ``lint``      -- run the reprolint determinism analyzer (REP001..006)
+* ``lint``      -- run the reprolint determinism analyzer (REP001..007)
                    over the source tree.
 
 All progress chatter goes to stderr through one ``--quiet``-aware
@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 from repro.analysis.filtering import evaluate_all_filters
 from repro.analysis.recommend import Question, rank_feeds
 from repro.ecosystem import paper_config, small_config
+from repro.io.artifacts import ArtifactCache, default_cache_dir
 from repro.io.checkpoint import CheckpointError, read_checkpoint
 from repro.pipeline import PaperPipeline
 from repro.reporting.report import write_report
@@ -39,9 +40,22 @@ def _progress(args, message: str) -> None:
         print(message, file=sys.stderr)
 
 
+def _artifact_cache(args) -> Optional[ArtifactCache]:
+    """The artifact cache the flags ask for (None with ``--no-cache``)."""
+    if getattr(args, "no_cache", True):
+        return None
+    root = getattr(args, "cache_dir", None) or default_cache_dir()
+    return ArtifactCache(root)
+
+
 def _build_pipeline(args) -> PaperPipeline:
     config = small_config() if args.small else paper_config()
-    pipeline = PaperPipeline(config, seed=args.seed)
+    pipeline = PaperPipeline(
+        config,
+        seed=args.seed,
+        jobs=getattr(args, "jobs", None),
+        cache=_artifact_cache(args),
+    )
     _progress(args, "Building world and collecting feeds...")
     pipeline.run()
     return pipeline
@@ -63,7 +77,11 @@ def _cmd_stream(args) -> int:
     config = small_config() if args.small else paper_config()
     _progress(args, "Building world and collecting feed sources...")
     engine = build_stream_engine(
-        config, seed=args.seed, batch_size=args.batch_size
+        config,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        jobs=args.jobs,
+        cache=_artifact_cache(args),
     )
 
     def save_checkpoint() -> bool:
@@ -238,8 +256,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    # Performance flags shared by the expensive subcommands.  Neither
+    # worker count nor caching changes a byte of any artifact.
+    perf_parser = argparse.ArgumentParser(add_help=False)
+    perf_parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes for collection/rendering "
+             "(default 1 = serial, 0 = all cores); output is identical "
+             "at any value",
+    )
+    perf_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact cache location "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    perf_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute everything; neither read nor write the "
+             "artifact cache",
+    )
+
     run_parser = subparsers.add_parser(
-        "run", help="regenerate every table and figure"
+        "run", parents=[perf_parser],
+        help="regenerate every table and figure",
     )
     run_parser.add_argument(
         "--output", "-o", default=None,
@@ -248,7 +287,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     run_parser.set_defaults(handler=_cmd_run)
 
     stream_parser = subparsers.add_parser(
-        "stream",
+        "stream", parents=[perf_parser],
         help="incremental streaming analysis with checkpoint/resume",
     )
     stream_parser.add_argument(
@@ -279,7 +318,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     lint_parser = subparsers.add_parser(
         "lint",
-        help="run the reprolint determinism analyzer (REP001..REP006)",
+        help="run the reprolint determinism analyzer (REP001..REP007)",
     )
     lint_parser.add_argument(
         "paths", nargs="*", metavar="PATH",

@@ -106,6 +106,17 @@ DEFAULT_RULES: Dict[str, RuleInfo] = {
             "bumping CHECKPOINT_VERSION lets old readers resume from "
             "incompatible files.",
         ),
+        RuleInfo(
+            "REP007",
+            "parallel results must be reduced in task order",
+            "Completion-order reduction (as_completed, imap_unordered) "
+            "makes parallel results depend on OS scheduling, and "
+            "host-derived worker counts (os.cpu_count) leak hardware "
+            "into anything beyond execution width. Tag results with "
+            "their task index and reduce in index order; a pragma "
+            "records why a flagged site is width-only or "
+            "index-ordered.",
+        ),
     )
 }
 

@@ -1,7 +1,7 @@
-"""AST visitors implementing the REP001..REP006 rules.
+"""AST visitors implementing the REP001..REP007 rules.
 
-The single-file rules (REP001..REP005) run in one pass per module via
-:class:`ModuleRuleVisitor`.  REP006 is cross-file (the checkpoint
+The single-file rules (REP001..REP005, REP007) run in one pass per
+module via :class:`ModuleRuleVisitor`.  REP006 is cross-file (the checkpoint
 schema pin lives in ``io/checkpoint.py`` while payload producers live
 elsewhere) and is implemented by :func:`check_checkpoint_schema` over
 every module parsed in the lint run.
@@ -75,6 +75,19 @@ RNG_DRAW_METHODS = RANDOM_MODULE_STATE - {"seed", "getstate", "setstate"}
 #: insertion-ordered, hence path-dependent) collection view.
 UNORDERED_VIEW_METHODS = frozenset({"values", "items", "unique_domains"})
 
+#: Pool/executor methods that yield results in *completion* order --
+#: never acceptable in reproducible code without an explicit pragma.
+COMPLETION_ORDER_METHODS = frozenset({"imap_unordered", "as_completed"})
+
+#: Pool/executor fan-out methods whose reduction order callers must
+#: make explicit (flagged only on pool/executor-named receivers).
+POOL_MAP_METHODS = frozenset(
+    {"map", "imap", "starmap", "map_async", "starmap_async"}
+)
+
+#: Modules whose ``cpu_count`` reads host hardware into the run.
+CPU_COUNT_MODULES = frozenset({"os", "multiprocessing"})
+
 #: Binary set operators (``&``, ``|``, ``^``); ``-`` is excluded
 #: because numeric subtraction is far more common.
 _SET_BINOPS = (ast.BitAnd, ast.BitOr, ast.BitXor)
@@ -127,6 +140,17 @@ def _rng_receiver(node: ast.AST) -> bool:
     if isinstance(node, ast.Attribute):
         return "rng" in node.attr.lower()
     return False
+
+
+def _pool_receiver(node: ast.AST) -> bool:
+    """Does this expression look like a worker pool or executor?"""
+    if isinstance(node, ast.Name):
+        name = node.id.lower()
+    elif isinstance(node, ast.Attribute):
+        name = node.attr.lower()
+    else:
+        return False
+    return "pool" in name or "executor" in name
 
 
 @dataclasses.dataclass(frozen=True)
@@ -196,6 +220,26 @@ class ModuleRuleVisitor(ast.NodeVisitor):
                     f"({', '.join(bad)}) from 'random'; derive a "
                     "per-component stream with stats.rng.derive_rng",
                 )
+        if node.module in CPU_COUNT_MODULES and any(
+            alias.name == "cpu_count" for alias in node.names
+        ):
+            self._emit(
+                "REP007",
+                node,
+                f"importing cpu_count from '{node.module}' reads host "
+                "hardware into the run; core count may only set "
+                "execution width (reduce results by task index)",
+            )
+        if node.module == "concurrent.futures" and any(
+            alias.name == "as_completed" for alias in node.names
+        ):
+            self._emit(
+                "REP007",
+                node,
+                "importing as_completed: iterating futures in "
+                "completion order is scheduler-dependent; collect "
+                "results by task index instead",
+            )
         if self.check_wallclock and node.module == "time":
             bad = sorted(
                 alias.name
@@ -229,6 +273,14 @@ class ModuleRuleVisitor(ast.NodeVisitor):
                 )
             elif func.id == "sum" and self.check_accumulation:
                 self._check_sum(node)
+            elif func.id == "as_completed":
+                self._emit(
+                    "REP007",
+                    node,
+                    "as_completed() yields futures in completion "
+                    "order, which depends on OS scheduling; collect "
+                    "results by task index instead",
+                )
         self.generic_visit(node)
 
     def _check_attribute_call(
@@ -281,6 +333,32 @@ class ModuleRuleVisitor(ast.NodeVisitor):
                 f"RNG draw .{func.attr}() while iterating an unordered "
                 "collection consumes the stream in container order; "
                 "iterate sorted(...) instead",
+            )
+        if func.attr == "cpu_count" and (
+            isinstance(value, ast.Name) and value.id in CPU_COUNT_MODULES
+        ):
+            self._emit(
+                "REP007",
+                node,
+                f"{value.id}.cpu_count() reads host hardware into the "
+                "run; core count may only set execution width (reduce "
+                "results by task index)",
+            )
+        if func.attr in COMPLETION_ORDER_METHODS:
+            self._emit(
+                "REP007",
+                node,
+                f".{func.attr}() yields results in completion order, "
+                "which depends on OS scheduling; collect results by "
+                "task index instead",
+            )
+        elif func.attr in POOL_MAP_METHODS and _pool_receiver(value):
+            self._emit(
+                "REP007",
+                node,
+                f".{func.attr}() on a worker pool: make the reduction "
+                "order explicit (index-tagged results reassembled by "
+                "task index) and record it with a pragma",
             )
 
     @staticmethod

@@ -15,6 +15,8 @@ Three name populations matter to the paper's analysis:
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
+from functools import lru_cache
 from typing import (
     Callable,
     Iterable,
@@ -70,15 +72,30 @@ BENIGN_TLD_WEIGHTS: TldWeights = (
 DGA_TLD_WEIGHTS: TldWeights = (("com", 0.7), ("net", 0.2), ("info", 0.1),)
 
 
-def _pick_tld(rng: random.Random, weights: TldWeights) -> str:
-    total = sum(w for _, w in weights)
-    x = rng.random() * total
+@lru_cache(maxsize=None)
+def _tld_cumulative(
+    weights: Tuple[Tuple[str, float], ...],
+) -> Tuple[Tuple[str, ...], Tuple[float, ...]]:
+    """Precomputed prefix sums for a TLD weight table (hot path)."""
+    tlds: List[str] = []
+    cumulative: List[float] = []
     acc = 0.0
     for tld, w in weights:
         acc += w
-        if x <= acc:
-            return tld
-    return weights[-1][0]
+        tlds.append(tld)
+        cumulative.append(acc)
+    return tuple(tlds), tuple(cumulative)
+
+
+def _pick_tld(rng: random.Random, weights: TldWeights) -> str:
+    # Exactly one rng.random() draw, like the original linear scan, so
+    # the derived name streams are byte-identical.
+    tlds, cumulative = _tld_cumulative(tuple(weights))
+    x = rng.random() * cumulative[-1]
+    index = bisect_left(cumulative, x)
+    if index >= len(tlds):
+        return tlds[-1]
+    return tlds[index]
 
 
 def _syllable(rng: random.Random) -> str:

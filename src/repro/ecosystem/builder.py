@@ -67,6 +67,9 @@ class WorldBuilder:
         #: One shared issued-name set keeps every spam-name generator
         #: (storefronts, web spam, DGA) collision-free against the rest.
         self._issued_names: Set[str] = set()
+        #: Lazily built Alexa|ODP union shared by every campaign's
+        #: registration pass (pure cache; consumes no RNG).
+        self._benign_union: Optional[Set[str]] = None
 
     # ------------------------------------------------------------------
     # Stage 1: populations
@@ -485,7 +488,13 @@ class WorldBuilder:
         cfg = self.config
         if dead_site_probability is None:
             dead_site_probability = cfg.dead_site_probability
-        benign_set = benign.alexa_set | benign.odp_domains
+        # The Alexa/ODP union is identical for every campaign; rebuilding
+        # it per call dominated world-build wall time at paper scale.
+        benign_set = self._benign_union
+        if benign_set is None:
+            benign_set = self._benign_union = (
+                benign.alexa_set | benign.odp_domains
+            )
         for domain in campaign.domains:
             if domain in benign_set:
                 continue  # redirector placements: already-existing domains

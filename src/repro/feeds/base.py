@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import abc
 import enum
+from array import array
 from typing import (
     Dict,
     Iterable,
@@ -37,6 +38,75 @@ class FeedRecord(NamedTuple):
 
     domain: str
     time: SimTime
+
+
+class DatasetColumns(NamedTuple):
+    """A feed dataset in columnar form: cheap to pickle, cheap to load.
+
+    One tuple and two flat lists serialize an order of magnitude faster
+    than a list of per-record tuples, which is what lets datasets cross
+    process boundaries (parallel collection) and live in the on-disk
+    artifact cache without the transport cost eating the win.  For the
+    hot transport paths :meth:`pack` flattens the columns further into
+    two byte blobs (see :class:`PackedColumns`).
+    """
+
+    name: str
+    feed_type: str
+    has_volume: bool
+    domains: List[str]
+    times: List[SimTime]
+
+    def pack(self) -> "PackedColumns":
+        """Flatten the columns into two byte blobs.
+
+        Pickling one joined string and one int64 array is close to a
+        memcpy; pickling hundreds of thousands of small string and int
+        objects is not.  Domain names cannot contain the newline
+        separator (they are DNS labels), which :meth:`PackedColumns
+        .unpack` re-checks via column-length agreement.
+        """
+        return PackedColumns(
+            name=self.name,
+            feed_type=self.feed_type,
+            has_volume=self.has_volume,
+            n_records=len(self.domains),
+            domain_blob="\n".join(self.domains).encode("utf-8"),
+            time_blob=array("q", self.times).tobytes(),
+        )
+
+
+class PackedColumns(NamedTuple):
+    """Blob-packed :class:`DatasetColumns` for process/disk transport."""
+
+    name: str
+    feed_type: str
+    has_volume: bool
+    n_records: int
+    domain_blob: bytes
+    time_blob: bytes
+
+    def unpack(self) -> DatasetColumns:
+        """Restore the columnar form; raises on any length mismatch."""
+        domains = (
+            self.domain_blob.decode("utf-8").split("\n")
+            if self.domain_blob
+            else []
+        )
+        times = array("q")
+        times.frombytes(self.time_blob)
+        if len(domains) != self.n_records or len(times) != self.n_records:
+            raise ValueError(
+                "packed columns do not round-trip to "
+                f"{self.n_records} records"
+            )
+        return DatasetColumns(
+            name=self.name,
+            feed_type=self.feed_type,
+            has_volume=self.has_volume,
+            domains=domains,
+            times=list(times),
+        )
 
 
 @runtime_checkable
@@ -184,6 +254,16 @@ class FeedDataset:
             has_volume=self.has_volume,
         )
 
+    def to_columns(self) -> DatasetColumns:
+        """This dataset in columnar transport form (record order kept)."""
+        return DatasetColumns(
+            name=self.name,
+            feed_type=self.feed_type.value,
+            has_volume=self.has_volume,
+            domains=[r.domain for r in self.records],
+            times=[r.time for r in self.records],
+        )
+
     def __len__(self) -> int:
         return len(self.records)
 
@@ -193,6 +273,93 @@ class FeedDataset:
             f"samples={self.total_samples}, unique={self.n_unique}, "
             f"has_volume={self.has_volume})"
         )
+
+
+class ColumnarFeedDataset(FeedDataset):
+    """A :class:`FeedDataset` backed by columns instead of record tuples.
+
+    Serves the whole :class:`FeedStats` surface straight from the two
+    flat columns -- the per-record ``FeedRecord`` list is materialized
+    lazily, only if a consumer (streaming merge, CSV export) actually
+    asks for ``.records``.  Statistics are computed by iterating the
+    columns in record order, so every derived value -- sets, counts,
+    first/last sightings and their dict insertion orders -- is
+    identical to the record-backed path.
+    """
+
+    def __init__(self, columns: DatasetColumns):
+        if len(columns.domains) != len(columns.times):
+            raise ValueError("domain and time columns differ in length")
+        self.name = columns.name
+        self.feed_type = FeedType(columns.feed_type)
+        self.has_volume = columns.has_volume
+        self._domains = columns.domains
+        self._times = columns.times
+        self._materialized: Optional[List[FeedRecord]] = None
+        self._chronological: Optional[List[FeedRecord]] = None
+        self._unique: Optional[Set[str]] = None
+        self._counts: Optional[EmpiricalDistribution] = None
+        self._first_seen: Optional[Dict[str, SimTime]] = None
+        self._last_seen: Optional[Dict[str, SimTime]] = None
+
+    @property  # type: ignore[override]
+    def records(self) -> List[FeedRecord]:
+        """Materialized record list (built on first access, then cached)."""
+        if self._materialized is None:
+            self._materialized = [
+                FeedRecord(d, t)
+                for d, t in zip(self._domains, self._times)
+            ]
+        return self._materialized
+
+    @property
+    def total_samples(self) -> int:
+        return len(self._domains)
+
+    def unique_domains(self) -> Set[str]:
+        if self._unique is None:
+            self._unique = set(self._domains)
+        return self._unique
+
+    def domain_counts(self) -> EmpiricalDistribution:
+        if self._counts is None:
+            counts: Dict[str, float] = {}
+            for domain in self._domains:
+                counts[domain] = counts.get(domain, 0.0) + 1.0
+            self._counts = EmpiricalDistribution(counts)
+        return self._counts
+
+    def first_seen(self) -> Dict[str, SimTime]:
+        if self._first_seen is None:
+            first: Dict[str, SimTime] = {}
+            for domain, t in zip(self._domains, self._times):
+                prev = first.get(domain)
+                if prev is None or t < prev:
+                    first[domain] = t
+            self._first_seen = first
+        return self._first_seen
+
+    def last_seen(self) -> Dict[str, SimTime]:
+        if self._last_seen is None:
+            last: Dict[str, SimTime] = {}
+            for domain, t in zip(self._domains, self._times):
+                prev = last.get(domain)
+                if prev is None or t > prev:
+                    last[domain] = t
+            self._last_seen = last
+        return self._last_seen
+
+    def to_columns(self) -> DatasetColumns:
+        return DatasetColumns(
+            name=self.name,
+            feed_type=self.feed_type.value,
+            has_volume=self.has_volume,
+            domains=self._domains,
+            times=self._times,
+        )
+
+    def __len__(self) -> int:
+        return len(self._domains)
 
 
 class FeedCollector(abc.ABC):

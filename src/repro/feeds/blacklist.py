@@ -23,7 +23,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.ecosystem.entities import AddressStrategy
 from repro.ecosystem.world import World
@@ -76,6 +76,10 @@ class BlacklistFeed(FeedCollector):
         self.config = config
         self.name = config.name
         self._seed = seed
+        #: Listing evidence per domain, computed once per world.  A
+        #: typed field (not a dynamic attribute) so mypy sees it and it
+        #: survives pickling for process-pool transport.
+        self._evidence: Optional[Dict[str, float]] = None
 
     def _rng(self, label: str) -> random.Random:
         return derive_rng(self._seed, f"feed.{self.name}.{label}")
@@ -125,12 +129,9 @@ class BlacklistFeed(FeedCollector):
         return self._finalize(world, records)
 
     def _evidence_cache(self, world: World) -> Dict[str, float]:
-        cache_attr = f"_evidence_{self.name}"
-        cached = getattr(self, cache_attr, None)
-        if cached is None:
-            cached = self._domain_evidence(world)
-            setattr(self, cache_attr, cached)
-        return cached
+        if self._evidence is None:
+            self._evidence = self._domain_evidence(world)
+        return self._evidence
 
     def _benign_false_positives(self, world: World) -> List[FeedRecord]:
         """The occasional mistaken listing of an ordinary benign site."""

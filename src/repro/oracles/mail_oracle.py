@@ -47,7 +47,13 @@ class IncomingMailOracle:
         self._odp_baseline = odp_baseline
         self._newsletter_baseline = newsletter_baseline
         self._noise_sigma = noise_sigma
-        self._rng = derive_rng(seed, "mail-oracle")
+        self._seed = seed
+        #: Measurement-noise factor per domain.  Each factor is derived
+        #: from (seed, domain) alone -- never from a shared sequential
+        #: stream -- so a domain's reported volume is a property of the
+        #: provider's measurement, independent of how many queries ran
+        #: before or on which worker process they ran.
+        self._noise_cache: Dict[str, float] = {}
         self._spam_volume_cache: Optional[Dict[str, float]] = None
         self._alexa_ranks = {
             d: r for r, d in enumerate(world.benign.alexa_ranked, start=1)
@@ -101,10 +107,18 @@ class IncomingMailOracle:
             return self._newsletter_baseline
         return 0.0
 
-    def _noisy(self, value: float) -> float:
+    def _noise_factor(self, domain: str) -> float:
+        factor = self._noise_cache.get(domain)
+        if factor is None:
+            rng = derive_rng(self._seed, f"mail-oracle.noise.{domain}")
+            factor = math.exp(rng.gauss(0.0, self._noise_sigma))
+            self._noise_cache[domain] = factor
+        return factor
+
+    def _noisy(self, domain: str, value: float) -> float:
         if value <= 0 or self._noise_sigma <= 0:
             return value
-        return value * math.exp(self._rng.gauss(0.0, self._noise_sigma))
+        return value * self._noise_factor(domain)
 
     # ------------------------------------------------------------------
     # Query interface
@@ -127,14 +141,14 @@ class IncomingMailOracle:
         provider never discloses absolute volumes).  Domains the
         provider never saw are reported as 0.
 
-        Noise draws are applied in sorted-domain order, so the same
-        submitted set always yields the same report regardless of how
-        the caller assembled it (set iteration order is not stable
-        across equal-content sets; batch and streaming paths must
-        agree byte-for-byte).
+        Measurement noise is a per-domain factor derived from (seed,
+        domain), so a domain's reported count is identical no matter
+        how the query set was assembled, how many queries ran before,
+        or which process runs the query -- the batch, streaming, and
+        parallel analysis paths must agree byte-for-byte.
         """
         raw = {
-            d: self._noisy(self.message_volume(d))
+            d: self._noisy(d, self.message_volume(d))
             for d in sorted(set(domains))
         }
         peak = max(raw.values(), default=0.0)

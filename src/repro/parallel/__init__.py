@@ -1,0 +1,40 @@
+"""Deterministic multi-core fan-out.
+
+The pipeline's expensive stages decompose into tasks that are pure
+functions of state created *before* the fan-out point: the ten feed
+collectors are independent given the world (each draws from its own
+``stats.rng.derive_rng(seed, label)`` stream), and every figure/table
+is an independent function of the warmed analysis context.  This
+package executes such task lists across worker processes under a
+strict determinism contract:
+
+* **Seeding** -- tasks never share an RNG; every stream is derived
+  from the root seed plus a stable task label, so a task's draws are
+  identical no matter which worker runs it, or when.
+* **Ordered reduction** -- results are reassembled by *task index*,
+  never completion order.  ``ordered_fanout(tasks, jobs=N)`` returns
+  byte-identical output for every ``N`` (including 1).
+* **Copy-on-write state** -- workers are forked, so they inherit the
+  parent's world, datasets and memoized caches without serialization;
+  only task results cross the process boundary.  Callers pre-warm any
+  shared lazily-built index before fanning out so no worker pays the
+  first-toucher cost.
+
+On platforms without ``fork`` (or inside a daemonic worker, where
+nesting pools is impossible) execution transparently degrades to the
+serial path -- same results, one core.
+"""
+
+from repro.parallel.fanout import (
+    FanoutUnavailable,
+    fork_available,
+    ordered_fanout,
+    resolve_jobs,
+)
+
+__all__ = [
+    "FanoutUnavailable",
+    "fork_available",
+    "ordered_fanout",
+    "resolve_jobs",
+]

@@ -35,6 +35,9 @@ from repro.feeds import (
     collect_all,
     standard_feed_suite,
 )
+from repro.feeds.base import ColumnarFeedDataset, PackedColumns
+from repro.io.artifacts import ArtifactCache, artifact_key, fingerprint
+from repro.parallel import ordered_fanout, resolve_jobs
 from repro.reporting.charts import (
     render_bars,
     render_box_stats,
@@ -76,25 +79,94 @@ class PaperPipeline:
         seed: int = 2012,
         collectors: Optional[Sequence[FeedCollector]] = None,
         feed_order: Sequence[str] = PAPER_FEED_ORDER,
+        jobs: Optional[int] = None,
+        cache: Optional[ArtifactCache] = None,
     ):
         self.config = config or paper_config()
         self.seed = seed
         self._collectors = list(collectors) if collectors else None
         self.feed_order = list(feed_order)
+        #: Worker count for collection and rendering fan-outs.  Pure
+        #: execution width: every artifact is byte-identical at any
+        #: value (None/1 = serial, 0 = all cores).
+        self.jobs = jobs
+        #: Optional content-addressed artifact cache.  Only runs with
+        #: the standard feed suite are cached -- custom collector lists
+        #: are not part of the cache key.
+        self.cache = cache
         self._result: Optional[PipelineResult] = None
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
+    def _cache_key(self, kind: str) -> Optional[str]:
+        """The content address for this run's *kind* artifact.
+
+        None when caching does not apply: no cache configured, or a
+        custom collector suite whose behavior the config fingerprint
+        cannot capture.
+        """
+        if self.cache is None or self._collectors is not None:
+            return None
+        return artifact_key(kind, fingerprint(self.config), self.seed)
+
+    def _load_cached_state(self) -> Optional[PipelineResult]:
+        key = self._cache_key("pipeline-state")
+        if key is None:
+            return None
+        payload = self.cache.load(key) if self.cache else None
+        if not isinstance(payload, dict):
+            return None
+        world = payload.get("world")
+        columns = payload.get("columns")
+        if not isinstance(world, World) or not isinstance(columns, list):
+            return None
+        if not all(isinstance(c, PackedColumns) for c in columns):
+            return None
+        try:
+            datasets: Dict[str, FeedDataset] = {
+                packed.name: ColumnarFeedDataset(packed.unpack())
+                for packed in columns
+            }
+        except ValueError:
+            return None  # blob does not round-trip: treat as a miss
+        comparison = FeedComparison(world, datasets, seed=self.seed)
+        return PipelineResult(world, datasets, comparison)
+
+    def _store_state(self, result: PipelineResult) -> None:
+        key = self._cache_key("pipeline-state")
+        if key is None or self.cache is None:
+            return
+        self.cache.store(
+            key,
+            {
+                "world": result.world,
+                "columns": [
+                    result.datasets[name].to_columns().pack()
+                    for name in result.datasets
+                ],
+            },
+        )
+
     def run(self) -> PipelineResult:
-        """Build world, collect feeds, assemble the comparison (cached)."""
+        """Build world, collect feeds, assemble the comparison (cached).
+
+        With an artifact cache attached, a warm run deserializes the
+        world and the columnar datasets instead of rebuilding them; the
+        resulting comparison is identical either way because both the
+        world build and every collector are pure functions of
+        ``(config, seed)``.
+        """
+        if self._result is None:
+            self._result = self._load_cached_state()
         if self._result is None:
             world = build_world(self.config, seed=self.seed)
             collectors = self._collectors or standard_feed_suite(self.seed)
-            datasets = collect_all(world, collectors)
+            datasets = collect_all(world, collectors, jobs=self.jobs)
             comparison = FeedComparison(world, datasets, seed=self.seed)
             self._result = PipelineResult(world, datasets, comparison)
+            self._store_state(self._result)
         return self._result
 
     @property
@@ -386,23 +458,47 @@ class PaperPipeline:
     # Everything at once
     # ------------------------------------------------------------------
 
-    def render_all(self) -> str:
-        """Every table and figure, separated by blank lines."""
-        parts = [
-            self.render_table1(),
-            self.render_table2(),
-            self.render_table3(),
-            self.render_figure1(),
-            self.render_figure2(),
-            self.render_figure3(),
-            self.render_figure4(),
-            self.render_figure5(),
-            self.render_figure6(),
-            self.render_figure7(),
-            self.render_figure8(),
-            self.render_figure9(),
-            self.render_figure10(),
-            self.render_figure11(),
-            self.render_figure12(),
+    def render_all(self, jobs: Optional[int] = None) -> str:
+        """Every table and figure, separated by blank lines.
+
+        The fifteen renderers are independent given a warmed
+        comparison, so with ``jobs`` > 1 they fan out across a worker
+        pool and come back joined in the fixed paper order -- the text
+        is byte-identical at any worker count.  A warm render cache
+        short-circuits the whole computation.
+        """
+        cache_key = self._cache_key("render-all")
+        if cache_key is not None and self.cache is not None:
+            cached = self.cache.load(cache_key)
+            if isinstance(cached, str):
+                return cached
+
+        renderers = [
+            self.render_table1,
+            self.render_table2,
+            self.render_table3,
+            self.render_figure1,
+            self.render_figure2,
+            self.render_figure3,
+            self.render_figure4,
+            self.render_figure5,
+            self.render_figure6,
+            self.render_figure7,
+            self.render_figure8,
+            self.render_figure9,
+            self.render_figure10,
+            self.render_figure11,
+            self.render_figure12,
         ]
-        return "\n\n".join(parts)
+        width = resolve_jobs(self.jobs if jobs is None else jobs)
+        if width > 1:
+            # Warm the shared expensive analyses before the pool forks
+            # so every worker inherits them copy-on-write instead of
+            # recomputing the crawl per renderer.
+            self.run()
+            self.comparison.crawl_results()
+        parts = ordered_fanout(renderers, jobs=width)
+        text = "\n\n".join(parts)
+        if cache_key is not None and self.cache is not None:
+            self.cache.store(cache_key, text)
+        return text

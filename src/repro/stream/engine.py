@@ -19,7 +19,16 @@ the previous run stopped.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 from repro.analysis.context import FeedComparison
 from repro.analysis.coverage import (
@@ -59,6 +68,9 @@ from repro.stream.state import (
     OnlineCoverageRow,
     StreamState,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.io.artifacts import ArtifactCache
 
 #: Checkpoint envelope kind for stream-engine state.
 CHECKPOINT_KIND = "stream-engine"
@@ -358,15 +370,33 @@ def build_stream_engine(
     collectors: Optional[Sequence[FeedCollector]] = None,
     feed_order: Sequence[str] = PAPER_FEED_ORDER,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    jobs: Optional[int] = None,
+    cache: Optional["ArtifactCache"] = None,
 ) -> StreamEngine:
     """Build the world, collect the feed suite, and wrap it in an engine.
 
     The record *sources* are deterministic functions of ``(config,
     seed)``, which is what makes checkpoints portable across processes:
     a resuming run rebuilds identical sources and seeks the cursors.
+    ``jobs`` parallelizes source collection and ``cache`` reuses a
+    previously built world + dataset state; neither changes a byte of
+    the stream.
     """
-    world = build_world(config or paper_config(), seed=seed)
-    datasets = collect_all(world, collectors or standard_feed_suite(seed))
+    if jobs is not None or cache is not None:
+        # The batch pipeline already implements cached/parallel state
+        # construction; reuse it rather than duplicating the key
+        # handling here.  Imported lazily to keep the stream layer
+        # importable without the pipeline layer.
+        from repro.pipeline.runner import PaperPipeline
+
+        result = PaperPipeline(
+            config, seed=seed, collectors=collectors,
+            feed_order=feed_order, jobs=jobs, cache=cache,
+        ).run()
+        world, datasets = result.world, result.datasets
+    else:
+        world = build_world(config or paper_config(), seed=seed)
+        datasets = collect_all(world, collectors or standard_feed_suite(seed))
     return StreamEngine(
         world, datasets, seed=seed, feed_order=feed_order,
         batch_size=batch_size,

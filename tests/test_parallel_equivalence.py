@@ -1,0 +1,189 @@
+"""Byte-equivalence of parallel execution at any worker count.
+
+The determinism contract of :mod:`repro.parallel`: worker count is
+pure execution width.  Every test here compares a serial run against
+parallel runs and requires *identical* values -- not statistically
+similar, identical -- including dict insertion orders, which downstream
+analyses iterate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecosystem import build_world, small_config
+from repro.feeds import collect_all, standard_feed_suite
+from repro.feeds.base import ColumnarFeedDataset, FeedDataset, FeedRecord, FeedType
+from repro.parallel import (
+    FanoutUnavailable,
+    fork_available,
+    ordered_fanout,
+    resolve_jobs,
+)
+from repro.pipeline import PaperPipeline
+
+EQUIVALENCE_SEEDS = (7, 11)
+
+
+# ----------------------------------------------------------------------
+# The fan-out primitive
+# ----------------------------------------------------------------------
+
+
+class TestOrderedFanout:
+    def test_serial_matches_list_comprehension(self):
+        tasks = [lambda i=i: i * i for i in range(8)]
+        assert ordered_fanout(tasks) == [i * i for i in range(8)]
+        assert ordered_fanout(tasks, jobs=1) == [i * i for i in range(8)]
+
+    def test_parallel_preserves_task_order(self):
+        tasks = [lambda i=i: i * i for i in range(20)]
+        assert ordered_fanout(tasks, jobs=4) == [i * i for i in range(20)]
+
+    def test_closures_cross_the_fork(self):
+        payload = {"nested": [1, 2, 3]}
+        tasks = [lambda k=k: (k, payload["nested"][k]) for k in range(3)]
+        assert ordered_fanout(tasks, jobs=3) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_empty_task_list(self):
+        assert ordered_fanout([], jobs=4) == []
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1  # all cores
+        assert resolve_jobs(-1) >= 1
+
+    def test_require_raises_without_fork(self, monkeypatch):
+        import repro.parallel.fanout as fanout
+
+        monkeypatch.setattr(fanout, "fork_available", lambda: False)
+        tasks = [lambda: 1, lambda: 2]
+        # Degrades to serial by default...
+        assert fanout.ordered_fanout(tasks, jobs=2) == [1, 2]
+        # ...but raises when the caller demands parallelism.
+        with pytest.raises(FanoutUnavailable):
+            fanout.ordered_fanout(tasks, jobs=2, require=True)
+
+    def test_fork_available_on_this_platform(self):
+        # The CI/test platform is Linux; the parallel paths below all
+        # assume this returns True there.
+        assert fork_available()
+
+
+# ----------------------------------------------------------------------
+# Columnar datasets serve identical statistics
+# ----------------------------------------------------------------------
+
+
+class TestColumnarDataset:
+    def build(self):
+        records = [
+            FeedRecord("b.com", 5),
+            FeedRecord("a.com", 10),
+            FeedRecord("b.com", 12),
+            FeedRecord("c.com", 12),
+            FeedRecord("a.com", 3),
+        ]
+        return FeedDataset("x", FeedType.MX_HONEYPOT, records)
+
+    def test_round_trip_preserves_everything(self):
+        original = self.build()
+        columnar = ColumnarFeedDataset(original.to_columns())
+        assert columnar.records == original.records
+        assert columnar.name == original.name
+        assert columnar.feed_type is original.feed_type
+        assert columnar.has_volume == original.has_volume
+        assert len(columnar) == len(original)
+        assert columnar.total_samples == original.total_samples
+        assert columnar.unique_domains() == original.unique_domains()
+        assert list(columnar.domain_counts().items()) == list(
+            original.domain_counts().items()
+        )
+        # Insertion order matters: analyses iterate these dicts.
+        assert list(columnar.first_seen().items()) == list(
+            original.first_seen().items()
+        )
+        assert list(columnar.last_seen().items()) == list(
+            original.last_seen().items()
+        )
+        assert (
+            columnar.chronological_records()
+            == original.chronological_records()
+        )
+
+    def test_stats_served_without_materializing_records(self):
+        columnar = ColumnarFeedDataset(self.build().to_columns())
+        assert columnar.n_unique == 3
+        assert columnar.total_samples == 5
+        assert columnar._materialized is None
+
+    def test_column_length_mismatch_rejected(self):
+        cols = self.build().to_columns()
+        bad = cols._replace(times=cols.times[:-1])
+        with pytest.raises(ValueError):
+            ColumnarFeedDataset(bad)
+
+
+# ----------------------------------------------------------------------
+# Feed collection: serial vs. worker pool
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", EQUIVALENCE_SEEDS)
+def test_collect_all_byte_identical_across_jobs(seed):
+    world = build_world(small_config(), seed=seed)
+    serial = collect_all(world, standard_feed_suite(seed))
+    for jobs in (2, 4):
+        parallel = collect_all(world, standard_feed_suite(seed), jobs=jobs)
+        assert list(parallel) == list(serial)  # feed order preserved
+        for name in serial:
+            a, b = serial[name], parallel[name]
+            assert b.records == a.records, (seed, jobs, name)
+            assert list(b.first_seen().items()) == list(
+                a.first_seen().items()
+            )
+            assert b.feed_type is a.feed_type
+            assert b.has_volume == a.has_volume
+
+
+# ----------------------------------------------------------------------
+# Full pipeline rendering: serial vs. worker pool
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", EQUIVALENCE_SEEDS)
+def test_render_all_byte_identical_across_jobs(seed):
+    serial = PaperPipeline(small_config(), seed=seed).render_all()
+    for jobs in (2, 4):
+        text = PaperPipeline(
+            small_config(), seed=seed, jobs=jobs
+        ).render_all()
+        assert text == serial, f"seed={seed} jobs={jobs}"
+
+
+def test_render_all_jobs_argument_overrides_pipeline_default():
+    pipeline = PaperPipeline(small_config(), seed=7, jobs=4)
+    serial_reference = PaperPipeline(small_config(), seed=7).render_all()
+    assert pipeline.render_all(jobs=1) == serial_reference
+    assert pipeline.render_all() == serial_reference
+
+
+def test_paper_scale_render_parallel_matches_serial(paper_pipeline):
+    """Seed 2012 at paper scale: the fan-out changes nothing."""
+    serial = paper_pipeline.render_all()
+    assert paper_pipeline.render_all(jobs=2) == serial
+
+
+def test_stream_engine_parallel_sources_identical():
+    from repro.stream import build_stream_engine
+
+    serial = build_stream_engine(small_config(), seed=7)
+    parallel = build_stream_engine(small_config(), seed=7, jobs=4)
+    serial.run()
+    parallel.run()
+    assert (
+        parallel.snapshot().render_tables()
+        == serial.snapshot().render_tables()
+    )

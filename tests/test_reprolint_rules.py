@@ -337,6 +337,84 @@ class TestRep006:
 
 
 # ----------------------------------------------------------------------
+# REP007: parallel reduction order
+# ----------------------------------------------------------------------
+
+
+class TestRep007:
+    def test_os_cpu_count_flagged(self):
+        findings = findings_for(
+            """
+            import os
+            workers = os.cpu_count()
+            """
+        )
+        assert rules_of(findings) == ["REP007"]
+        assert findings[0].line == 3
+
+    def test_multiprocessing_cpu_count_flagged(self):
+        findings = findings_for(
+            """
+            import multiprocessing
+            workers = multiprocessing.cpu_count()
+            """
+        )
+        assert rules_of(findings) == ["REP007"]
+
+    def test_cpu_count_import_flagged(self):
+        findings = findings_for("from os import cpu_count\n")
+        assert rules_of(findings) == ["REP007"]
+        assert "cpu_count" in findings[0].message
+
+    def test_as_completed_call_flagged(self):
+        findings = findings_for(
+            """
+            for future in as_completed(futures):
+                results.append(future.result())
+            """
+        )
+        assert rules_of(findings) == ["REP007"]
+        assert "completion order" in findings[0].message
+
+    def test_as_completed_import_flagged(self):
+        findings = findings_for(
+            "from concurrent.futures import as_completed\n"
+        )
+        assert rules_of(findings) == ["REP007"]
+
+    def test_imap_unordered_flagged(self):
+        findings = findings_for(
+            """
+            for result in pool.imap_unordered(work, items):
+                results.append(result)
+            """
+        )
+        assert rules_of(findings) == ["REP007"]
+
+    def test_pool_map_flagged(self):
+        findings = findings_for("results = pool.map(work, items)\n")
+        assert rules_of(findings) == ["REP007"]
+        assert "task index" in findings[0].message
+
+    def test_executor_map_flagged(self):
+        findings = findings_for(
+            "results = list(self.executor.map(work, items))\n"
+        )
+        assert rules_of(findings) == ["REP007"]
+
+    def test_plain_map_receiver_ok(self):
+        findings = findings_for("points = series.map(transform)\n")
+        assert findings == []
+
+    def test_pool_map_pragma_suppresses(self):
+        findings = findings_for(
+            "r = pool.map(w, items)"
+            "  # reprolint: disable=REP007 -- index-tagged\n"
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Pragmas and configuration
 # ----------------------------------------------------------------------
 
@@ -470,6 +548,9 @@ def seed_all_rule_violations(tmp_path):
         "for d in set(domains):\n    noise = rng.random()\n"
     )
     write_schema_module(tmp_path, "v1:000000000000", name="rep006.py")
+    (tmp_path / "rep007.py").write_text(
+        "import os\nworkers = os.cpu_count()\n"
+    )
 
 
 class TestCli:
