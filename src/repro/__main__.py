@@ -8,11 +8,15 @@ Subcommands:
                    order, with windowed snapshots and checkpoint/resume.
 * ``recommend`` -- rank feeds for a research question (Section 5).
 * ``filter``    -- evaluate feeds as blocking oracles.
-* ``lint``      -- run the reprolint determinism analyzer (REP001..007)
+* ``lint``      -- run the reprolint determinism analyzer (REP001..008)
                    over the source tree.
+* ``manifest``  -- validate a ``--trace`` run manifest and summarize it.
 
 All progress chatter goes to stderr through one ``--quiet``-aware
-helper; stdout carries only the analysis artifacts.
+helper; stdout carries only the analysis artifacts.  Observability
+(``--trace``/``--metrics``) is a side channel: the manifest goes to
+its own file and the summary tables to stderr, so a traced run's
+stdout is byte-identical to an untraced one.
 """
 
 from __future__ import annotations
@@ -20,16 +24,25 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.analysis.filtering import evaluate_all_filters
 from repro.analysis.recommend import Question, rank_feeds
-from repro.ecosystem import paper_config, small_config
-from repro.io.artifacts import ArtifactCache, default_cache_dir
+from repro.ecosystem import EcosystemConfig, paper_config, small_config
+from repro.io.artifacts import ArtifactCache, default_cache_dir, fingerprint
 from repro.io.checkpoint import CheckpointError, read_checkpoint
+from repro.obs.hosttime import Stopwatch
+from repro.obs.manifest import (
+    ManifestError,
+    build_manifest,
+    manifest_stage_names,
+    read_manifest,
+    write_manifest,
+)
 from repro.pipeline import PaperPipeline
 from repro.reporting.report import write_report
+from repro.reporting.run_summary import render_run_summary
 from repro.reporting.tables import Table, format_percent
 from repro.stream import CHECKPOINT_KIND, build_stream_engine
 
@@ -48,6 +61,47 @@ def _artifact_cache(args) -> Optional[ArtifactCache]:
     return ArtifactCache(root)
 
 
+def _observability_tracer(args) -> Optional[obs.Tracer]:
+    """A tracer when ``--trace`` or ``--metrics`` asks for one."""
+    if getattr(args, "trace", None) or getattr(args, "metrics", False):
+        return obs.Tracer()
+    return None
+
+
+def _finish_observability(
+    args,
+    tracer: Optional[obs.Tracer],
+    command: str,
+    config: EcosystemConfig,
+) -> None:
+    """Write the manifest and/or print the run summary, as requested.
+
+    Both outputs are side channels: the manifest goes to the ``--trace``
+    path and the summary to stderr, never into the analysis artifacts
+    on stdout.
+    """
+    if tracer is None:
+        return
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        manifest = build_manifest(
+            tracer,
+            command=command,
+            seed=args.seed,
+            config_fingerprint=fingerprint(config),
+            jobs=getattr(args, "jobs", None),
+        )
+        write_manifest(trace_path, manifest)
+        _progress(args, f"Run manifest written to {trace_path}")
+    if getattr(args, "metrics", False):
+        print(
+            render_run_summary(
+                tracer.span_payloads(), tracer.metrics.snapshot()
+            ),
+            file=sys.stderr,
+        )
+
+
 def _build_pipeline(args) -> PaperPipeline:
     config = small_config() if args.small else paper_config()
     pipeline = PaperPipeline(
@@ -62,18 +116,33 @@ def _build_pipeline(args) -> PaperPipeline:
 
 
 def _cmd_run(args) -> int:
-    pipeline = _build_pipeline(args)
-    if args.output:
-        files = write_report(pipeline, args.output)
-        print(f"Wrote {len(files)} artifacts to {args.output}:")
-        for name in files:
-            print(f"  {name}")
-    else:
-        print(pipeline.render_all())
+    tracer = _observability_tracer(args)
+    with obs.activate(tracer):
+        pipeline = _build_pipeline(args)
+        if args.output:
+            files = write_report(pipeline, args.output)
+            print(f"Wrote {len(files)} artifacts to {args.output}:")
+            for name in files:
+                print(f"  {name}")
+        else:
+            print(pipeline.render_all())
+    _finish_observability(args, tracer, "run", pipeline.config)
     return 0
 
 
 def _cmd_stream(args) -> int:
+    tracer = _observability_tracer(args)
+    with obs.activate(tracer):
+        status = _stream_body(args)
+    if status == 0:
+        _finish_observability(
+            args, tracer, "stream",
+            small_config() if args.small else paper_config(),
+        )
+    return status
+
+
+def _stream_body(args) -> int:
     config = small_config() if args.small else paper_config()
     _progress(args, "Building world and collecting feed sources...")
     engine = build_stream_engine(
@@ -113,11 +182,11 @@ def _cmd_stream(args) -> int:
         args.until_day, total_days
     )
 
-    started = time.perf_counter()
+    watch = Stopwatch()
     resumed_records = engine.records_processed
 
     def throughput() -> float:
-        elapsed = time.perf_counter() - started
+        elapsed = watch.elapsed()
         done = engine.records_processed - resumed_records
         return done / elapsed if elapsed > 0 else 0.0
 
@@ -206,6 +275,33 @@ def _cmd_lint(args) -> int:
     return 0
 
 
+def _cmd_manifest(args) -> int:
+    try:
+        manifest = read_manifest(args.path)
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    except ManifestError as exc:
+        print(f"error: {args.path}: {exc}", file=sys.stderr)
+        return 2
+    stages = manifest_stage_names(manifest)
+    print(
+        f"{args.path}: valid {manifest['format']} v{manifest['version']} "
+        f"(command={manifest['command']}, seed={manifest['seed']}, "
+        f"{len(stages)} stages)"
+    )
+    if args.min_stages is not None and len(stages) < args.min_stages:
+        print(
+            f"error: {len(stages)} distinct stages "
+            f"({', '.join(stages)}), need at least {args.min_stages}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.summary:
+        print(render_run_summary(manifest["spans"], manifest["metrics"]))
+    return 0
+
+
 def _cmd_recommend(args) -> int:
     pipeline = _build_pipeline(args)
     question = Question(args.question)
@@ -275,6 +371,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="recompute everything; neither read nor write the "
              "artifact cache",
     )
+    perf_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a versioned JSON run manifest (span tree + metrics) "
+             "to PATH; analysis output on stdout is unchanged",
+    )
+    perf_parser.add_argument(
+        "--metrics", action="store_true",
+        help="print a per-stage timing and metrics summary to stderr",
+    )
 
     run_parser = subparsers.add_parser(
         "run", parents=[perf_parser],
@@ -316,9 +421,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     stream_parser.set_defaults(handler=_cmd_stream)
 
+    manifest_parser = subparsers.add_parser(
+        "manifest",
+        help="validate a --trace run manifest and summarize it",
+    )
+    manifest_parser.add_argument(
+        "path", metavar="PATH", help="manifest file written by --trace"
+    )
+    manifest_parser.add_argument(
+        "--min-stages", type=int, default=None, metavar="N",
+        help="fail unless the span tree covers at least N distinct stages",
+    )
+    manifest_parser.add_argument(
+        "--summary", action="store_true",
+        help="print the per-stage summary tables",
+    )
+    manifest_parser.set_defaults(handler=_cmd_manifest)
+
     lint_parser = subparsers.add_parser(
         "lint",
-        help="run the reprolint determinism analyzer (REP001..REP007)",
+        help="run the reprolint determinism analyzer (REP001..REP008)",
     )
     lint_parser.add_argument(
         "paths", nargs="*", metavar="PATH",

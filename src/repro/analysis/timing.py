@@ -59,6 +59,29 @@ class BoxStats:
         )
 
 
+def _resolve_reference_feeds(
+    measured_feeds: Sequence[str],
+    reference_feeds: Optional[Sequence[str]],
+) -> List[str]:
+    """The reference aggregate for a timing figure.
+
+    ``None`` means "default to the measured feeds themselves"
+    (Figure 10's honeypot-relative variant).  An explicitly passed
+    *empty* reference set is a caller bug -- treating it as the default
+    would silently change what the figure measures -- so it raises
+    instead of being coerced.
+    """
+    if reference_feeds is None:
+        return list(measured_feeds)
+    refs = list(reference_feeds)
+    if not refs:
+        raise ValueError(
+            "reference_feeds must be non-empty; pass None to default "
+            "to the measured feeds"
+        )
+    return refs
+
+
 def _percentile(ordered: Sequence[float], q: float) -> float:
     """Linear-interpolation percentile of an already-sorted sample."""
     if not ordered:
@@ -150,7 +173,7 @@ def first_appearance_latencies(
     (Figure 10's honeypot-relative variant); Figure 9 passes all feeds
     except Bot as the reference.
     """
-    refs = list(reference_feeds) if reference_feeds else list(measured_feeds)
+    refs = _resolve_reference_feeds(measured_feeds, reference_feeds)
     union: Set[str] = set()
     for feed in measured_feeds:
         union |= _kind_domains(comparison, feed, kind)
@@ -177,7 +200,7 @@ def last_appearance_gaps(
     kind: str = "tagged",
 ) -> Dict[str, BoxStats]:
     """Figure 11: gap between a feed's last sighting and campaign end."""
-    refs = list(reference_feeds) if reference_feeds else list(measured_feeds)
+    refs = _resolve_reference_feeds(measured_feeds, reference_feeds)
     union: Set[str] = set()
     for feed in measured_feeds:
         union |= _kind_domains(comparison, feed, kind)
@@ -209,7 +232,7 @@ def duration_errors(
     aggregate) is always at least a feed's in-feed domain lifetime; the
     statistic is the difference.
     """
-    refs = list(reference_feeds) if reference_feeds else list(measured_feeds)
+    refs = _resolve_reference_feeds(measured_feeds, reference_feeds)
     union: Set[str] = set()
     for feed in measured_feeds:
         union |= _kind_domains(comparison, feed, kind)

@@ -3,7 +3,7 @@
 The paper's comparison methodology is reproducible only because every
 stochastic draw and every floating-point accumulation in this codebase
 is deterministic.  ``reprolint`` enforces those invariants statically,
-as named, suppressible rules (REP001..REP007), so order-sensitivity
+as named, suppressible rules (REP001..REP008), so order-sensitivity
 bugs are caught at lint time instead of being rediscovered whenever a
 new execution path (streaming, sharding, ...) must match batch output
 byte-for-byte.

@@ -46,6 +46,11 @@ SIMULATION_PACKAGES: Tuple[str, ...] = (
 #: (the batch and streaming paths must agree byte-for-byte).
 ACCUMULATION_PACKAGES: Tuple[str, ...] = ("analysis", "stream")
 
+#: The host-time quarantine (REP008): the only packages inside
+#: ``src/repro`` allowed to read any host clock — wall or monotonic.
+#: Everything else must route timing through ``repro.obs``.
+OBS_PACKAGES: Tuple[str, ...] = ("obs",)
+
 
 @dataclasses.dataclass(frozen=True)
 class RuleInfo:
@@ -116,6 +121,16 @@ DEFAULT_RULES: Dict[str, RuleInfo] = {
             "their task index and reduce in index order; a pragma "
             "records why a flagged site is width-only or "
             "index-ordered.",
+        ),
+        RuleInfo(
+            "REP008",
+            "no host-clock reads outside repro.obs",
+            "Host-time reads (time.time, perf_counter, monotonic, "
+            "datetime.now, ...) are quarantined in repro.obs so that "
+            "every timing source feeding traces and run manifests is "
+            "auditable in one place. Other repro packages must use "
+            "obs.hosttime (Stopwatch, wall_now) instead of reading "
+            "clocks directly.",
         ),
     )
 }

@@ -2,7 +2,7 @@
 
 Entry points:
 
-* :func:`lint_source` -- one file's source text (REP001..REP005, REP007).
+* :func:`lint_source` -- one file's source text (REP001..REP005, REP007, REP008).
 * :func:`lint_paths` -- files and/or directory trees, including the
   cross-file REP006 checkpoint-schema check.
 """

@@ -1,7 +1,7 @@
-"""AST visitors implementing the REP001..REP007 rules.
+"""AST visitors implementing the REP001..REP008 rules.
 
-The single-file rules (REP001..REP005, REP007) run in one pass per
-module via :class:`ModuleRuleVisitor`.  REP006 is cross-file (the checkpoint
+The single-file rules (REP001..REP005, REP007, REP008) run in one pass
+per module via :class:`ModuleRuleVisitor`.  REP006 is cross-file (the checkpoint
 schema pin lives in ``io/checkpoint.py`` while payload producers live
 elsewhere) and is implemented by :func:`check_checkpoint_schema` over
 every module parsed in the lint run.
@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.devtools.config import (
     ACCUMULATION_PACKAGES,
+    OBS_PACKAGES,
     SIMULATION_PACKAGES,
 )
 
@@ -67,6 +68,23 @@ TIME_MODULE_WALLCLOCK = frozenset(
 
 #: Wall-clock constructors on ``datetime``/``date`` objects.
 DATETIME_WALLCLOCK = frozenset({"now", "today", "utcnow"})
+
+#: Every host-clock read on the ``time`` module, monotonic sources
+#: included.  REP008 quarantines all of them inside ``repro.obs`` --
+#: even duration-only clocks, so the timing feeding traces and run
+#: manifests has exactly one auditable home.
+TIME_MODULE_HOSTTIME = TIME_MODULE_WALLCLOCK | frozenset(
+    {
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "thread_time",
+        "thread_time_ns",
+    }
+)
 
 #: Methods of ``random.Random`` that consume the stream.
 RNG_DRAW_METHODS = RANDOM_MODULE_STATE - {"seed", "getstate", "setstate"}
@@ -170,7 +188,8 @@ def _first_package(relpkg: Optional[str]) -> Optional[str]:
 
 
 class ModuleRuleVisitor(ast.NodeVisitor):
-    """One-pass visitor for the single-file rules REP001..REP005.
+    """One-pass visitor for the single-file rules (REP001..REP005,
+    REP007, REP008).
 
     Parameters
     ----------
@@ -179,7 +198,10 @@ class ModuleRuleVisitor(ast.NodeVisitor):
         (e.g. ``"analysis/volume.py"``), or None for files outside the
         package.  Scoped rules (REP003, REP004) apply inside their
         scope packages and -- so fixtures exercise them -- to files
-        outside the package entirely.
+        outside the package entirely.  REP008 is the inverse shape: it
+        applies to every file *inside* the package except the
+        ``repro.obs`` quarantine, and never to outside files (whose
+        host-clock reads are not this project's timing sources).
     """
 
     def __init__(self, relpkg: Optional[str] = None):
@@ -187,6 +209,7 @@ class ModuleRuleVisitor(ast.NodeVisitor):
         outside = relpkg is None
         self.check_wallclock = outside or first in SIMULATION_PACKAGES
         self.check_accumulation = outside or first in ACCUMULATION_PACKAGES
+        self.check_hosttime = not outside and first not in OBS_PACKAGES
         self.findings: List[RawFinding] = []
         #: Stack of loop/comprehension iterables that are unordered.
         self._unordered_loops: List[ast.AST] = []
@@ -253,6 +276,20 @@ class ModuleRuleVisitor(ast.NodeVisitor):
                     f"importing wall-clock function ({', '.join(bad)}) "
                     "from 'time' in simulation code; use the simulation "
                     "clock (repro.simtime)",
+                )
+        if self.check_hosttime and node.module == "time":
+            bad = sorted(
+                alias.name
+                for alias in node.names
+                if alias.name in TIME_MODULE_HOSTTIME
+            )
+            if bad:
+                self._emit(
+                    "REP008",
+                    node,
+                    f"importing host-clock function ({', '.join(bad)}) "
+                    "from 'time' outside repro.obs; route timing "
+                    "through repro.obs.hosttime",
                 )
         self.generic_visit(node)
 
@@ -321,6 +358,29 @@ class ModuleRuleVisitor(ast.NodeVisitor):
                     f"datetime wall-clock call .{func.attr}() in "
                     "simulation code; use the simulation clock "
                     "(repro.simtime)",
+                )
+        if self.check_hosttime:
+            if (
+                isinstance(value, ast.Name)
+                and value.id == "time"
+                and func.attr in TIME_MODULE_HOSTTIME
+            ):
+                self._emit(
+                    "REP008",
+                    node,
+                    f"time.{func.attr}() reads a host clock outside "
+                    "repro.obs; route timing through "
+                    "repro.obs.hosttime",
+                )
+            if func.attr in DATETIME_WALLCLOCK and self._is_datetime_ref(
+                value
+            ):
+                self._emit(
+                    "REP008",
+                    node,
+                    f"datetime host-clock call .{func.attr}() outside "
+                    "repro.obs; route timing through "
+                    "repro.obs.hosttime",
                 )
         if (
             func.attr in RNG_DRAW_METHODS

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from repro import obs
 from repro.ecosystem.world import World
 from repro.feeds.base import ColumnarFeedDataset, FeedCollector, FeedDataset
 from repro.feeds.blacklist import BlacklistConfig, BlacklistFeed
@@ -164,12 +165,23 @@ def collect_all(
                 for collector in ordered
             ],
             jobs=width,
+            labels=[
+                f"feed.collect:{collector.name}" for collector in ordered
+            ],
         )
-        return {
+        results = {
             p.name: ColumnarFeedDataset(p.unpack()) for p in packed
         }
+        for dataset in results.values():
+            obs.add("feeds.records", dataset.total_samples)
+        return results
 
     datasets: Dict[str, FeedDataset] = {}
     for collector in ordered:
-        datasets[collector.name] = collector.collect(world)
+        with obs.span(f"feed.collect:{collector.name}") as span:
+            dataset = collector.collect(world)
+            obs.add("feeds.records", dataset.total_samples)
+            if span is not None:
+                span.attributes["records"] = dataset.total_samples
+        datasets[collector.name] = dataset
     return datasets

@@ -33,6 +33,7 @@ import pickle
 import tempfile
 from typing import Any, Iterator, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.io.checkpoint import CHECKPOINT_SCHEMA_PIN
 
 #: Envelope format marker for cache entries.
@@ -196,8 +197,15 @@ class ArtifactCache:
 
         Unreadable, truncated, foreign-format and version-mismatched
         entries all count as misses: the caller recomputes and the bad
-        entry is overwritten on the next :meth:`store`.
+        entry is overwritten on the next :meth:`store`.  Hits and
+        misses are counted on the active tracer (side channel only --
+        the payload is identical either way).
         """
+        payload = self._load_unmetered(key)
+        obs.add("cache.hit" if payload is not None else "cache.miss")
+        return payload
+
+    def _load_unmetered(self, key: str) -> Optional[Any]:
         path = self.path_for(key)
         try:
             with open(path, "rb") as handle:
@@ -239,11 +247,12 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
+        obs.add("cache.store")
         return path
 
     def contains(self, key: str) -> bool:
-        """True when a loadable entry exists for *key*."""
-        return self.load(key) is not None
+        """True when a loadable entry exists for *key* (not metered)."""
+        return self._load_unmetered(key) is not None
 
     def invalidate(self, key: str) -> bool:
         """Remove the entry for *key*; True if one was removed."""
@@ -251,6 +260,7 @@ class ArtifactCache:
             os.unlink(self.path_for(key))
         except OSError:
             return False
+        obs.add("cache.invalidation")
         return True
 
     def keys(self) -> Iterator[str]:

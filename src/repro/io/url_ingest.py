@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.domains.parse import try_registered_domain
 from repro.domains.url import try_domain_of_url
 from repro.feeds.base import FeedDataset, FeedRecord, FeedType
@@ -59,7 +61,13 @@ def normalize_record(obj: Mapping[str, Any]) -> Tuple[Optional[FeedRecord], str]
     ``"unparseable_host"``.
     """
     t = obj.get("t")
-    if t is None or not isinstance(t, (int, float)):
+    # bool is an int subclass and JSON accepts bare NaN/Infinity, so a
+    # plain isinstance check would wave through timestamps that either
+    # lie about their type or blow up in int(t) below.  All of them are
+    # drops, not crashes.
+    if isinstance(t, bool) or not isinstance(t, (int, float)):
+        return None, "missing_fields"
+    if isinstance(t, float) and not math.isfinite(t):
         return None, "missing_fields"
     if "url" in obj:
         domain = try_domain_of_url(str(obj["url"]))
@@ -101,6 +109,8 @@ def ingest_url_lines(
             continue
         stats.accepted += 1
         records.append(record)
+    obs.add("ingest.accepted", stats.accepted)
+    obs.add("ingest.dropped", stats.total - stats.accepted)
     dataset = FeedDataset(name, feed_type, records, has_volume)
     return dataset, stats
 
@@ -129,12 +139,19 @@ def dedup_within_window(
         raise ValueError("window must be positive")
     last_kept: Dict[str, int] = {}
     kept: List[FeedRecord] = []
-    for record in sorted(dataset.records, key=lambda r: r.time):
+    # Sorting by time alone leaves same-minute sightings of *different*
+    # domains in input-file order, so the kept-record order (and every
+    # order-sensitive consumer downstream) would change with the
+    # provider's line order.  The (time, domain) key makes the output a
+    # pure function of the record multiset.
+    for record in sorted(dataset.records, key=lambda r: (r.time, r.domain)):
         previous = last_kept.get(record.domain)
         if previous is not None and record.time - previous < window_minutes:
             continue
         last_kept[record.domain] = record.time
         kept.append(record)
+    obs.add("dedup.kept", len(kept))
+    obs.add("dedup.dropped", len(dataset.records) - len(kept))
     return FeedDataset(
         dataset.name, dataset.feed_type, kept, dataset.has_volume
     )

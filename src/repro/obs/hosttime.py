@@ -1,0 +1,59 @@
+"""The host-clock quarantine: every host time read lives here.
+
+Reproducibility rests on simulation components taking time only from
+:mod:`repro.simtime`; observability needs real durations.  Those two
+needs are reconciled by confinement: this module is the single place
+in the package that may call :func:`time.perf_counter`,
+:func:`time.time`, or read process resource usage.  reprolint rule
+REP008 flags host-time reads everywhere else (the ``obs`` package is
+the explicit allowlist — no pragmas involved), so a wall-clock read
+leaking into analysis code is a lint error at the line that added it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+try:  # pragma: no cover - always present on the platforms we run on
+    import resource
+except ImportError:  # pragma: no cover - non-Unix fallback
+    resource = None  # type: ignore[assignment]
+
+
+def wall_now() -> float:
+    """Seconds since the epoch (manifest timestamps only)."""
+    return time.time()
+
+
+def monotonic_now() -> float:
+    """A monotonic high-resolution timestamp for measuring durations."""
+    return time.perf_counter()
+
+
+def peak_rss_kib() -> Optional[int]:
+    """This process's peak resident set size in KiB (None if unknown).
+
+    ``ru_maxrss`` is a high-water mark: it never decreases, so the
+    delta across a span measures how much the span *grew* the peak.
+    """
+    if resource is None:
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+class Stopwatch:
+    """Elapsed host seconds since construction (or the last restart)."""
+
+    __slots__ = ("_started",)
+
+    def __init__(self) -> None:
+        self._started = monotonic_now()
+
+    def restart(self) -> None:
+        """Reset the zero point to now."""
+        self._started = monotonic_now()
+
+    def elapsed(self) -> float:
+        """Seconds since the zero point."""
+        return monotonic_now() - self._started

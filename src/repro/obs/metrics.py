@@ -1,0 +1,51 @@
+"""Counters and gauges for one run.
+
+Counters accumulate (records ingested, cache hits); gauges hold the
+most recent value (worker busy seconds, stealable idle time).  The
+snapshot is sorted by name so manifests are stable under insertion
+order — two runs that did the same work produce the same metric block
+regardless of which instrumented site fired first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+
+class MetricsRegistry:
+    """A flat namespace of named counters and gauges."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Number] = {}
+        self._gauges: Dict[str, Number] = {}
+
+    def add(self, name: str, value: Number = 1) -> None:
+        """Increment counter *name* by *value* (creating it at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        """Set gauge *name* to *value*, replacing any previous value."""
+        self._gauges[name] = value
+
+    def counter(self, name: str) -> Number:
+        """Current value of counter *name* (0 when never incremented)."""
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> Number:
+        """Current value of gauge *name* (0 when never set)."""
+        return self._gauges.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Dict[str, Number]]:
+        """A JSON-friendly frozen view, sorted by metric name."""
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)})"
+        )

@@ -4,6 +4,14 @@ The only state a worker receives is what it inherits at ``fork`` time
 (copy-on-write) plus a task index; the only state it returns is the
 task's result, keyed by that index.  Worker count is therefore pure
 execution width: it can change wall time, never bytes.
+
+Observability: every fan-out emits a ``parallel.fanout`` span with one
+child span per task.  Workers measure their own task durations (the
+clock read lives in :mod:`repro.obs.hosttime`, the quarantine module)
+and report them alongside the result; the parent reduces them into
+per-worker task counts, busy seconds, and stealable idle time — the
+load-balance evidence a perf PR needs.  None of this affects results:
+span metadata goes only to the manifest side channel.
 """
 
 from __future__ import annotations
@@ -11,7 +19,10 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import os
-from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro import obs
+from repro.obs.hosttime import Stopwatch
 
 T = TypeVar("T")
 
@@ -53,18 +64,66 @@ def fork_available() -> bool:
     return True
 
 
-def _run_indexed(index: int) -> Tuple[int, Any]:
-    """Worker body: run one inherited task, tag the result with its index."""
+def _run_indexed(index: int) -> Tuple[int, Any, int, float]:
+    """Worker body: run one inherited task, tag the result with its index.
+
+    Alongside the result the worker reports its pid and the task's
+    wall-clock duration (measured through the :mod:`repro.obs`
+    quarantine) so the parent can reconstruct per-worker load without
+    any shared mutable state.
+    """
     tasks = _ACTIVE_TASKS
     if tasks is None:  # pragma: no cover - impossible under fork
         raise RuntimeError("no active fan-out task list in worker")
-    return index, tasks[index]()
+    watch = Stopwatch()
+    result = tasks[index]()
+    return index, result, os.getpid(), watch.elapsed()
+
+
+def _task_label(labels: Optional[Sequence[str]], index: int) -> str:
+    if labels is not None:
+        return labels[index]
+    return f"task[{index}]"
+
+
+def _record_worker_stats(
+    meta: Sequence[Tuple[int, int, float]],
+    labels: Optional[Sequence[str]],
+    elapsed_s: float,
+) -> None:
+    """Reduce worker-reported (index, pid, duration) into trace data.
+
+    Workers are renumbered densely by sorted pid so metric names do not
+    depend on what pids the host handed out.
+    """
+    tracer = obs.current_tracer()
+    if tracer is None:
+        return
+    by_pid: Dict[int, List[Tuple[int, float]]] = {}
+    for index, pid, duration in meta:
+        by_pid.setdefault(pid, []).append((index, duration))
+    total_idle = 0.0
+    for worker, pid in enumerate(sorted(by_pid)):
+        ran = by_pid[pid]
+        busy = sum(duration for _, duration in ran)
+        idle = max(0.0, elapsed_s - busy)
+        total_idle += idle
+        tracer.metrics.add(f"worker.{worker}.tasks", len(ran))
+        tracer.metrics.add(f"worker.{worker}.busy_s", busy)
+        tracer.metrics.set_gauge(f"worker.{worker}.idle_s", idle)
+        for index, duration in sorted(ran):
+            tracer.attach_child(
+                _task_label(labels, index), duration, worker=worker
+            )
+    tracer.metrics.add("fanout.idle_s", total_idle)
+    tracer.annotate(workers=len(by_pid))
 
 
 def ordered_fanout(
     tasks: Sequence[Callable[[], T]],
     jobs: Optional[int] = None,
     require: bool = False,
+    labels: Optional[Sequence[str]] = None,
 ) -> List[T]:
     """Run *tasks* and return their results in task order.
 
@@ -77,9 +136,12 @@ def ordered_fanout(
 
     ``require=True`` raises :class:`FanoutUnavailable` instead of
     degrading to serial when more than one worker was requested but the
-    platform cannot fork.
+    platform cannot fork.  ``labels`` (one per task) names the per-task
+    trace spans when a tracer is active.
     """
     global _ACTIVE_TASKS
+    if labels is not None and len(labels) != len(tasks):
+        raise ValueError("labels must match tasks one-to-one")
     width = min(resolve_jobs(jobs), len(tasks))
     if width > 1 and not fork_available():
         if require:
@@ -89,7 +151,14 @@ def ordered_fanout(
             )
         width = 1
     if width <= 1:
-        return [task() for task in tasks]
+        with obs.span("parallel.fanout", tasks=len(tasks), width=1):
+            results_serial: List[T] = []
+            for index, task in enumerate(tasks):
+                with obs.span(_task_label(labels, index), worker=0):
+                    results_serial.append(task())
+            obs.add("worker.0.tasks", len(tasks))
+            obs.add("fanout.tasks", len(tasks))
+        return results_serial
 
     context = multiprocessing.get_context("fork")
     _ACTIVE_TASKS = tasks
@@ -101,17 +170,26 @@ def ordered_fanout(
     gc.collect()
     gc.freeze()
     try:
-        with context.Pool(processes=width) as pool:
-            # chunksize=1 for load balance across heavy, uneven tasks.
-            # Each worker tags its result with the task index it ran;
-            # the reduction below is by that index, never arrival.
-            pairs = pool.map(  # reprolint: disable=REP007 -- index-tagged
-                _run_indexed, range(len(tasks)), chunksize=1
+        with obs.span("parallel.fanout", tasks=len(tasks), width=width):
+            watch = Stopwatch()
+            with context.Pool(processes=width) as pool:
+                # chunksize=1 for load balance across heavy, uneven
+                # tasks.  Each worker tags its result with the task
+                # index it ran; the reduction below is by that index,
+                # never arrival.
+                tagged = pool.map(  # reprolint: disable=REP007 -- index-tagged
+                    _run_indexed, range(len(tasks)), chunksize=1
+                )
+            obs.add("fanout.tasks", len(tasks))
+            _record_worker_stats(
+                [(index, pid, duration) for index, _, pid, duration in tagged],
+                labels,
+                watch.elapsed(),
             )
     finally:
         _ACTIVE_TASKS = None
         gc.unfreeze()
     results: List[Any] = [None] * len(tasks)
-    for index, value in pairs:
+    for index, value, _, _ in tagged:
         results[index] = value
     return results

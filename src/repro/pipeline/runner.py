@@ -5,6 +5,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.analysis import (
     FeedComparison,
     coverage_table,
@@ -158,15 +159,26 @@ class PaperPipeline:
         world build and every collector are pure functions of
         ``(config, seed)``.
         """
-        if self._result is None:
-            self._result = self._load_cached_state()
-        if self._result is None:
-            world = build_world(self.config, seed=self.seed)
-            collectors = self._collectors or standard_feed_suite(self.seed)
-            datasets = collect_all(world, collectors, jobs=self.jobs)
-            comparison = FeedComparison(world, datasets, seed=self.seed)
-            self._result = PipelineResult(world, datasets, comparison)
-            self._store_state(self._result)
+        if self._result is not None:
+            return self._result
+        with obs.span("pipeline.run", seed=self.seed):
+            with obs.span("cache.load-state"):
+                self._result = self._load_cached_state()
+            if self._result is None:
+                with obs.span("world.build"):
+                    world = build_world(self.config, seed=self.seed)
+                collectors = (
+                    self._collectors or standard_feed_suite(self.seed)
+                )
+                with obs.span("feeds.collect", feeds=len(collectors)):
+                    datasets = collect_all(world, collectors, jobs=self.jobs)
+                with obs.span("comparison.assemble"):
+                    comparison = FeedComparison(
+                        world, datasets, seed=self.seed
+                    )
+                self._result = PipelineResult(world, datasets, comparison)
+                with obs.span("cache.store-state"):
+                    self._store_state(self._result)
         return self._result
 
     @property
@@ -467,38 +479,46 @@ class PaperPipeline:
         is byte-identical at any worker count.  A warm render cache
         short-circuits the whole computation.
         """
-        cache_key = self._cache_key("render-all")
-        if cache_key is not None and self.cache is not None:
-            cached = self.cache.load(cache_key)
-            if isinstance(cached, str):
-                return cached
+        with obs.span("render.all"):
+            with obs.span("cache.load-render"):
+                cache_key = self._cache_key("render-all")
+                if cache_key is not None and self.cache is not None:
+                    cached = self.cache.load(cache_key)
+                    if isinstance(cached, str):
+                        return cached
 
-        renderers = [
-            self.render_table1,
-            self.render_table2,
-            self.render_table3,
-            self.render_figure1,
-            self.render_figure2,
-            self.render_figure3,
-            self.render_figure4,
-            self.render_figure5,
-            self.render_figure6,
-            self.render_figure7,
-            self.render_figure8,
-            self.render_figure9,
-            self.render_figure10,
-            self.render_figure11,
-            self.render_figure12,
-        ]
-        width = resolve_jobs(self.jobs if jobs is None else jobs)
-        if width > 1:
-            # Warm the shared expensive analyses before the pool forks
-            # so every worker inherits them copy-on-write instead of
-            # recomputing the crawl per renderer.
-            self.run()
-            self.comparison.crawl_results()
-        parts = ordered_fanout(renderers, jobs=width)
-        text = "\n\n".join(parts)
-        if cache_key is not None and self.cache is not None:
-            self.cache.store(cache_key, text)
-        return text
+            renderers = [
+                self.render_table1,
+                self.render_table2,
+                self.render_table3,
+                self.render_figure1,
+                self.render_figure2,
+                self.render_figure3,
+                self.render_figure4,
+                self.render_figure5,
+                self.render_figure6,
+                self.render_figure7,
+                self.render_figure8,
+                self.render_figure9,
+                self.render_figure10,
+                self.render_figure11,
+                self.render_figure12,
+            ]
+            labels = [
+                "render." + fn.__name__[len("render_"):]
+                for fn in renderers
+            ]
+            width = resolve_jobs(self.jobs if jobs is None else jobs)
+            if width > 1:
+                # Warm the shared expensive analyses before the pool
+                # forks so every worker inherits them copy-on-write
+                # instead of recomputing the crawl per renderer.
+                with obs.span("comparison.warm"):
+                    self.run()
+                    self.comparison.crawl_results()
+            parts = ordered_fanout(renderers, jobs=width, labels=labels)
+            text = "\n\n".join(parts)
+            with obs.span("cache.store-render"):
+                if cache_key is not None and self.cache is not None:
+                    self.cache.store(cache_key, text)
+            return text

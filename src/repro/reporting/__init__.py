@@ -10,6 +10,11 @@ from repro.reporting.tables import Table, format_count, format_percent
 from repro.reporting.matrix import render_overlap_matrix, render_value_matrix
 from repro.reporting.charts import render_bars, render_box_stats, render_scatter
 from repro.reporting.report import write_report
+from repro.reporting.run_summary import (
+    render_metrics_table,
+    render_run_summary,
+    render_stage_table,
+)
 
 __all__ = [
     "Table",
@@ -17,8 +22,11 @@ __all__ = [
     "format_percent",
     "render_bars",
     "render_box_stats",
+    "render_metrics_table",
     "render_overlap_matrix",
+    "render_run_summary",
     "render_scatter",
+    "render_stage_table",
     "render_value_matrix",
     "write_report",
 ]

@@ -1,0 +1,100 @@
+"""Per-stage run summaries rendered from trace data.
+
+Consumes the JSON-friendly span/metric payloads (either straight off a
+live :class:`~repro.obs.trace.Tracer` or re-read from a run manifest)
+and renders compact aligned tables: where the wall time went, stage by
+stage, plus the counter and gauge snapshot.  Pure formatting — no host
+clock reads happen here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.reporting.tables import Table
+
+
+def _walk(
+    spans: Sequence[Mapping[str, Any]], depth: int = 0
+) -> Iterator[Tuple[int, Mapping[str, Any]]]:
+    for span in spans:
+        yield depth, span
+        yield from _walk(span["children"], depth + 1)
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:,.0f}s"
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.1f}ms"
+
+
+def _format_rss(delta_kib: Any) -> str:
+    if delta_kib is None:
+        return "-"
+    return f"{delta_kib / 1024:+.1f}MiB"
+
+
+def _format_attributes(attributes: Mapping[str, Any]) -> str:
+    return " ".join(
+        f"{key}={attributes[key]}" for key in sorted(attributes)
+    )
+
+
+def render_stage_table(
+    spans: Sequence[Mapping[str, Any]],
+    title: str = "Run stages",
+) -> str:
+    """The span tree as an indented stage table with time shares."""
+    total = sum(float(span["duration_s"]) for span in spans)
+    table = Table(
+        ["Stage", "Time", "Share", "RSS Δ", "Attributes"], title=title
+    )
+    for depth, span in _walk(spans):
+        duration = float(span["duration_s"])
+        share = duration / total if total > 0 else 0.0
+        table.add_row(
+            "  " * depth + str(span["name"]),
+            _format_duration(duration),
+            f"{share * 100:.1f}%",
+            _format_rss(span["rss_delta_kib"]),
+            _format_attributes(span["attributes"]),
+        )
+    return table.render()
+
+
+def render_metrics_table(
+    metrics: Mapping[str, Mapping[str, Any]],
+    title: str = "Run metrics",
+) -> str:
+    """Counters and gauges as one aligned table."""
+    table = Table(["Metric", "Kind", "Value"], title=title)
+    for kind in ("counters", "gauges"):
+        block = metrics.get(kind, {})
+        for name in sorted(block):
+            value = block[name]
+            rendered = (
+                f"{value:,}"
+                if isinstance(value, int)
+                else f"{float(value):,.3f}"
+            )
+            table.add_row(name, kind[:-1], rendered)
+    return table.render()
+
+
+def render_run_summary(
+    spans: Sequence[Mapping[str, Any]],
+    metrics: Mapping[str, Mapping[str, Any]],
+) -> str:
+    """Stage table plus metric table, separated by a blank line."""
+    return "\n\n".join(
+        [render_stage_table(spans), render_metrics_table(metrics)]
+    )
+
+
+__all__: List[str] = [
+    "render_metrics_table",
+    "render_run_summary",
+    "render_stage_table",
+]

@@ -30,6 +30,7 @@ from typing import (
     Sequence,
 )
 
+from repro import obs
 from repro.analysis.context import FeedComparison
 from repro.analysis.coverage import (
     CoverageRow,
@@ -227,6 +228,7 @@ class StreamEngine:
     ) -> int:
         """Consume events (bounded by count and/or time); returns #consumed."""
         consumed = 0
+        batches = 0
         while max_records is None or consumed < max_records:
             limit = None if max_records is None else max_records - consumed
             batch = self._stream.next_batch(limit=limit, until_time=until_time)
@@ -234,16 +236,27 @@ class StreamEngine:
                 break
             self.state.update_batch(batch)
             consumed += len(batch)
+            batches += 1
+        obs.add("stream.records", consumed)
+        obs.add("stream.batches", batches)
         return consumed
 
     def advance_to_day(self, day: int) -> int:
         """Consume everything before the start of (zero-based) *day*."""
         boundary = self.world.timeline.start + day * MINUTES_PER_DAY
-        return self.process(until_time=boundary)
+        with obs.span("stream.advance", day=day) as span:
+            consumed = self.process(until_time=boundary)
+            if span is not None:
+                span.attributes["records"] = consumed
+        return consumed
 
     def run(self) -> int:
         """Drain the stream to the end of the window; returns #consumed."""
-        return self.process()
+        with obs.span("stream.drain") as span:
+            consumed = self.process()
+            if span is not None:
+                span.attributes["records"] = consumed
+        return consumed
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -251,6 +264,7 @@ class StreamEngine:
 
     def snapshot(self) -> StreamSnapshot:
         """Freeze the current state for analysis."""
+        obs.add("stream.snapshots")
         return StreamSnapshot(
             world=self.world,
             seed=self.seed,
@@ -395,8 +409,12 @@ def build_stream_engine(
         ).run()
         world, datasets = result.world, result.datasets
     else:
-        world = build_world(config or paper_config(), seed=seed)
-        datasets = collect_all(world, collectors or standard_feed_suite(seed))
+        with obs.span("world.build"):
+            world = build_world(config or paper_config(), seed=seed)
+        with obs.span("feeds.collect"):
+            datasets = collect_all(
+                world, collectors or standard_feed_suite(seed)
+            )
     return StreamEngine(
         world, datasets, seed=seed, feed_order=feed_order,
         batch_size=batch_size,

@@ -168,3 +168,33 @@ class TestLastAppearanceAndDuration:
         comparison = FeedComparison(toy_world, feeds)
         stats = first_appearance_latencies(comparison, ["empty", "mx1"])
         assert "empty" not in stats
+
+
+class TestEmptyReferenceFeeds:
+    """An explicit empty reference set is a caller bug, not a default.
+
+    Regression: ``reference_feeds=[]`` used to be treated like ``None``
+    (falsy), silently measuring against the measured feeds instead of
+    the aggregate the caller named.
+    """
+
+    def test_first_appearance_rejects_empty_reference(self, comparison):
+        with pytest.raises(ValueError, match="non-empty"):
+            first_appearance_latencies(
+                comparison, ["mx1"], reference_feeds=[]
+            )
+
+    def test_last_appearance_rejects_empty_reference(self, comparison):
+        with pytest.raises(ValueError, match="non-empty"):
+            last_appearance_gaps(comparison, ["mx1"], reference_feeds=[])
+
+    def test_duration_errors_rejects_empty_reference(self, comparison):
+        with pytest.raises(ValueError, match="non-empty"):
+            duration_errors(comparison, ["mx1"], reference_feeds=())
+
+    def test_none_still_defaults_to_measured_feeds(self, comparison):
+        explicit = first_appearance_latencies(
+            comparison, ["mx1"], reference_feeds=["mx1"]
+        )
+        defaulted = first_appearance_latencies(comparison, ["mx1"])
+        assert defaulted == explicit

@@ -51,6 +51,35 @@ class TestNormalizeRecord:
         assert record is None
         assert reason == "missing_fields"
 
+    # Regression: non-finite floats and bools used to reach int(t) and
+    # crash the whole ingest (ValueError/OverflowError) instead of
+    # being counted as drops.
+
+    @pytest.mark.parametrize(
+        "t", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_time_dropped(self, t):
+        record, reason = normalize_record({"url": "http://x.com/", "t": t})
+        assert record is None
+        assert reason == "missing_fields"
+
+    @pytest.mark.parametrize("t", [True, False])
+    def test_bool_time_dropped(self, t):
+        record, reason = normalize_record({"url": "http://x.com/", "t": t})
+        assert record is None
+        assert reason == "missing_fields"
+
+    @pytest.mark.parametrize("t", ["5", None, [5], {"v": 5}])
+    def test_non_numeric_time_dropped(self, t):
+        record, reason = normalize_record({"host": "x.com", "t": t})
+        assert record is None
+        assert reason == "missing_fields"
+
+    def test_float_time_truncates(self):
+        record, reason = normalize_record({"host": "x.com", "t": 7.9})
+        assert reason == "ok"
+        assert record == FeedRecord("x.com", 7)
+
 
 class TestIngestLines:
     def test_mixed_input(self):
@@ -77,6 +106,25 @@ class TestIngestLines:
     def test_non_dict_json(self):
         _, stats = ingest_url_lines(['["a", "list"]'], name="x")
         assert stats.bad_json == 1
+
+    def test_bare_nan_infinity_tokens_survive_ingest(self):
+        # json.loads accepts bare NaN/Infinity tokens; regression for
+        # the ingest crashing on them at int(t) instead of counting
+        # them as missing_fields drops.
+        dataset, stats = ingest_url_lines(
+            [
+                '{"url": "http://a.com/", "t": NaN}',
+                '{"url": "http://b.com/", "t": Infinity}',
+                '{"host": "c.net", "t": -Infinity}',
+                '{"host": "d.org", "t": true}',
+                '{"url": "http://ok.com/", "t": 3}',
+            ],
+            name="x",
+        )
+        assert dataset.unique_domains() == {"ok.com"}
+        assert stats.accepted == 1
+        assert stats.missing_fields == 4
+        assert stats.total == 5
 
     def test_empty_input(self):
         dataset, stats = ingest_url_lines([], name="x")
@@ -129,6 +177,36 @@ class TestDedup:
     def test_bad_window(self):
         with pytest.raises(ValueError):
             dedup_within_window(self.make_dataset([0]), 0)
+
+    def test_output_independent_of_input_order(self):
+        # Regression: sorting by time alone left same-minute sightings
+        # of different domains in input-file order, so a provider
+        # shipping the same multiset in another line order changed the
+        # kept-record sequence.
+        records = [
+            FeedRecord("b.com", 5),
+            FeedRecord("a.com", 5),
+            FeedRecord("c.net", 0),
+            FeedRecord("a.com", 0),
+            FeedRecord("b.com", 14),
+            FeedRecord("a.com", 9),
+        ]
+        def dedup(ordering):
+            dataset = FeedDataset("x", FeedType.MX_HONEYPOT, ordering)
+            return dedup_within_window(dataset, 10).records
+
+        baseline = dedup(records)
+        assert dedup(list(reversed(records))) == baseline
+        assert dedup(sorted(records, key=lambda r: r.domain)) == baseline
+
+    def test_same_minute_domains_kept_in_domain_order(self):
+        dataset = FeedDataset(
+            "x",
+            FeedType.MX_HONEYPOT,
+            [FeedRecord("z.com", 3), FeedRecord("a.com", 3)],
+        )
+        deduped = dedup_within_window(dataset, 10)
+        assert [r.domain for r in deduped.records] == ["a.com", "z.com"]
 
     def test_stats_dataclass(self):
         stats = IngestStats(accepted=3, bad_json=1)

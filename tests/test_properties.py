@@ -1,10 +1,14 @@
 """Cross-module property tests (hypothesis) on core invariants."""
 
 import random
+import statistics
+
+import pytest
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis.timing import _percentile
 from repro.ecosystem.entities import DomainPlacement
 from repro.feeds.base import FeedDataset, FeedRecord, FeedType
 from repro.feeds.capture import capture_placement
@@ -13,6 +17,7 @@ from repro.io.serialization import (
     roundtrip_equal,
     write_feed_jsonl,
 )
+from repro.io.url_ingest import IngestStats
 from repro.stats.distributions import EmpiricalDistribution
 from repro.stats.kendall import kendall_tau_distributions
 
@@ -140,3 +145,90 @@ class TestRankAgreementInvariants:
             assert tau == 1.0
         else:
             assert tau == 0.0
+
+
+_samples = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestPercentileInvariants:
+    @given(_samples, st.floats(0.0, 1.0))
+    @settings(max_examples=80)
+    def test_bounded_by_sample_extremes(self, values, q):
+        ordered = sorted(values)
+        result = _percentile(ordered, q)
+        assert ordered[0] <= result <= ordered[-1]
+
+    @given(_samples, st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=80)
+    def test_monotone_in_q(self, values, q1, q2):
+        ordered = sorted(values)
+        lo, hi = min(q1, q2), max(q1, q2)
+        assert _percentile(ordered, lo) <= _percentile(ordered, hi)
+
+    @given(_samples)
+    @settings(max_examples=60)
+    def test_endpoints_and_median(self, values):
+        ordered = sorted(values)
+        assert _percentile(ordered, 0.0) == ordered[0]
+        assert _percentile(ordered, 1.0) == ordered[-1]
+        assert _percentile(ordered, 0.5) == pytest.approx(
+            statistics.median(ordered), rel=1e-9, abs=1e-9
+        )
+
+    @given(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=60)
+    def test_agrees_with_statistics_quantiles(self, values):
+        # statistics.quantiles(n=4, method="inclusive") uses the same
+        # linear interpolation over the sorted sample.
+        ordered = sorted(values)
+        q1, q2, q3 = statistics.quantiles(ordered, n=4, method="inclusive")
+        def approx(v):
+            return pytest.approx(v, rel=1e-9, abs=1e-9)
+
+        assert _percentile(ordered, 0.25) == approx(q1)
+        assert _percentile(ordered, 0.50) == approx(q2)
+        assert _percentile(ordered, 0.75) == approx(q3)
+
+
+class TestIngestStatsInvariants:
+    @given(
+        st.integers(0, 10**6),
+        st.integers(0, 10**6),
+        st.integers(0, 10**6),
+        st.integers(0, 10**6),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=80)
+    def test_total_and_drop_fraction(
+        self, accepted, bad_json, missing, bad_url, bad_host
+    ):
+        stats = IngestStats(
+            accepted=accepted,
+            bad_json=bad_json,
+            missing_fields=missing,
+            unparseable_url=bad_url,
+            unparseable_host=bad_host,
+        )
+        assert stats.total == (
+            accepted + bad_json + missing + bad_url + bad_host
+        )
+        assert 0.0 <= stats.drop_fraction <= 1.0
+        if stats.total:
+            dropped = stats.total - accepted
+            assert stats.drop_fraction == pytest.approx(
+                dropped / stats.total, rel=1e-9, abs=1e-9
+            )
+        else:
+            assert stats.drop_fraction == 0.0
+        if accepted == stats.total:
+            assert stats.drop_fraction == 0.0

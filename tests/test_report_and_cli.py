@@ -79,3 +79,72 @@ class TestCli:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestObservabilityCli:
+    def run_traced(self, tmp_path, capsys, *extra):
+        trace = tmp_path / "manifest.json"
+        code = main(
+            ["--small", "--seed", "7", "run", "--no-cache",
+             "--trace", str(trace), *extra]
+        )
+        captured = capsys.readouterr()
+        return code, trace, captured
+
+    def test_trace_writes_manifest_without_touching_stdout(
+        self, tmp_path, capsys
+    ):
+        code, trace, traced = self.run_traced(tmp_path, capsys)
+        assert code == 0
+        assert trace.exists()
+        assert "Run manifest written" in traced.err
+
+        code = main(["--small", "--seed", "7", "run", "--no-cache"])
+        assert code == 0
+        untraced = capsys.readouterr()
+        assert traced.out == untraced.out
+
+    def test_metrics_summary_on_stderr(self, tmp_path, capsys):
+        code, _, captured = self.run_traced(tmp_path, capsys, "--metrics")
+        assert code == 0
+        assert "Run stages" in captured.err
+        assert "Run metrics" in captured.err
+        assert "Run stages" not in captured.out
+
+    def test_manifest_subcommand_validates(self, tmp_path, capsys):
+        _, trace, _ = self.run_traced(tmp_path, capsys)
+        code = main(["manifest", str(trace), "--min-stages", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "valid repro-run-manifest" in out
+
+    def test_manifest_subcommand_summary(self, tmp_path, capsys):
+        _, trace, _ = self.run_traced(tmp_path, capsys)
+        code = main(["manifest", str(trace), "--summary"])
+        assert code == 0
+        assert "Run stages" in capsys.readouterr().out
+
+    def test_manifest_min_stages_failure(self, tmp_path, capsys):
+        _, trace, _ = self.run_traced(tmp_path, capsys)
+        code = main(["manifest", str(trace), "--min-stages", "1000"])
+        assert code == 1
+        assert "need at least 1000" in capsys.readouterr().err
+
+    def test_manifest_rejects_invalid_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        code = main(["manifest", str(bad)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stream_trace_writes_manifest(self, tmp_path, capsys):
+        trace = tmp_path / "stream.json"
+        code = main(
+            ["--small", "--seed", "7", "stream", "--no-cache",
+             "--trace", str(trace)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert trace.exists()
+        code = main(["manifest", str(trace), "--min-stages", "4"])
+        assert code == 0

@@ -146,8 +146,10 @@ class TestRep003:
         """
         inside = findings_for(code, path="/x/repro/feeds/mod.py")
         outside = findings_for(code, path="/x/repro/reporting/mod.py")
-        assert rules_of(inside) == ["REP003"]
-        assert outside == []
+        # Inside the package a wall-clock read also breaches the REP008
+        # host-time quarantine; REP003 is the simulation-scope rule.
+        assert rules_of(inside) == ["REP003", "REP008"]
+        assert rules_of(outside) == ["REP008"]
 
 
 # ----------------------------------------------------------------------
@@ -415,6 +417,88 @@ class TestRep007:
 
 
 # ----------------------------------------------------------------------
+# REP008: host-clock quarantine (repro.obs)
+# ----------------------------------------------------------------------
+
+
+class TestRep008:
+    def test_perf_counter_flagged_inside_package(self):
+        findings = findings_for(
+            """
+            import time
+            started = time.perf_counter()
+            """,
+            path="/x/repro/pipeline/mod.py",
+        )
+        assert rules_of(findings) == ["REP008"]
+        assert "repro.obs" in findings[0].message
+
+    def test_monotonic_import_flagged_inside_package(self):
+        findings = findings_for(
+            "from time import monotonic, process_time\n",
+            path="/x/repro/io/mod.py",
+        )
+        assert rules_of(findings) == ["REP008"]
+        assert "monotonic" in findings[0].message
+
+    def test_datetime_now_flagged_inside_package(self):
+        findings = findings_for(
+            """
+            import datetime
+            stamp = datetime.datetime.now()
+            """,
+            path="/x/repro/reporting/mod.py",
+        )
+        assert rules_of(findings) == ["REP008"]
+
+    def test_wallclock_inside_simulation_scope_hits_both(self):
+        findings = findings_for(
+            "from time import time\n", path="/x/repro/stream/mod.py"
+        )
+        assert rules_of(findings) == ["REP003", "REP008"]
+
+    def test_obs_package_allowlisted(self):
+        findings = findings_for(
+            """
+            import time
+            started = time.perf_counter()
+            now = time.time()
+            """,
+            path="/x/repro/obs/hosttime.py",
+        )
+        assert findings == []
+
+    def test_outside_files_unaffected(self):
+        # Fixture/outside files keep exercising REP003 without the
+        # quarantine rule piling on.
+        findings = findings_for(
+            """
+            import time
+            started = time.perf_counter()
+            """
+        )
+        assert findings == []
+
+    def test_sleep_not_flagged(self):
+        findings = findings_for(
+            """
+            import time
+            time.sleep(0.1)
+            """,
+            path="/x/repro/parallel/mod.py",
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = findings_for(
+            "from time import perf_counter"
+            "  # reprolint: disable=REP008 -- bench harness\n",
+            path="/x/repro/devtools/mod.py",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Pragmas and configuration
 # ----------------------------------------------------------------------
 
@@ -550,6 +634,13 @@ def seed_all_rule_violations(tmp_path):
     write_schema_module(tmp_path, "v1:000000000000", name="rep006.py")
     (tmp_path / "rep007.py").write_text(
         "import os\nworkers = os.cpu_count()\n"
+    )
+    # REP008 fires only inside the repro package, so seed it under a
+    # repro/ directory (the linter keys the scope off the path).
+    pkg = tmp_path / "repro" / "pipeline"
+    pkg.mkdir(parents=True)
+    (pkg / "rep008.py").write_text(
+        "import time\nstarted = time.perf_counter()\n"
     )
 
 
