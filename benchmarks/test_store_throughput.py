@@ -1,0 +1,103 @@
+"""Sighting-store landing and query throughput at paper scale.
+
+Three benches over the full paper-scale record volume:
+
+* cold landing into a fresh SQLite store (rows/sec through the bronze
+  + silver + gold tiers);
+* idempotent re-landing of the same run (the prefix-skip path a
+  ``run --store`` after ``stream --store`` takes); and
+* cross-run first-seen queries against the landed gold tier.
+
+The landing benches re-assert the gold tier against the in-process
+first-seen analysis, so a fast-but-wrong landing path cannot slip
+through.
+"""
+
+from __future__ import annotations
+
+from repro.feeds import land_dataset
+from repro.store import SightingStore
+
+SEED = 2012
+
+
+def _land_all(store, pipeline):
+    result = pipeline.run()
+    writer = store.open_run("bench", SEED, "bench-cfg", "bench")
+    for name in result.datasets:
+        land_dataset(writer, result.datasets[name])
+    writer.finish()
+    return writer
+
+
+def test_store_cold_landing(benchmark, pipeline, tmp_path, show):
+    result = pipeline.run()
+    total = sum(ds.total_samples for ds in result.datasets.values())
+    paths = iter(str(tmp_path / f"cold{i}.sqlite") for i in range(100))
+
+    def land():
+        with SightingStore.open(next(paths)) as store:
+            _land_all(store, pipeline)
+            return store.feed_summaries()
+
+    summaries = benchmark.pedantic(land, rounds=1)
+    assert sum(s.sightings for s in summaries) == total
+    rate = total / benchmark.stats.stats.mean
+    benchmark.extra_info["records"] = total
+    benchmark.extra_info["records_per_sec"] = round(rate)
+    show(f"[store] cold landing: {total:,} rows, {rate:,.0f} rows/s")
+
+
+def test_store_idempotent_reland(benchmark, pipeline, tmp_path, show):
+    result = pipeline.run()
+    total = sum(ds.total_samples for ds in result.datasets.values())
+    path = str(tmp_path / "reland.sqlite")
+    with SightingStore.open(path) as store:
+        _land_all(store, pipeline)
+
+    def reland():
+        with SightingStore.open(path) as store:
+            return _land_all(store, pipeline)
+
+    benchmark.pedantic(reland, rounds=3)
+    with SightingStore.open(path) as store:
+        assert sum(s.sightings for s in store.feed_summaries()) == total
+    rate = total / benchmark.stats.stats.mean
+    benchmark.extra_info["records"] = total
+    benchmark.extra_info["skipped_per_sec"] = round(rate)
+    show(f"[store] idempotent re-land: {total:,} rows, {rate:,.0f} rows/s")
+
+
+def test_store_first_seen_queries(benchmark, pipeline, tmp_path, show):
+    result = pipeline.run()
+    path = str(tmp_path / "query.sqlite")
+    with SightingStore.open(path) as store:
+        _land_all(store, pipeline)
+    probe_feed = sorted(result.datasets)[0]
+    dataset = result.datasets[probe_feed]
+    first = dataset.first_seen()
+    domains = sorted(first)[:2000]
+
+    store = SightingStore.open(path)
+    try:
+        def query_all():
+            hits = 0
+            for domain in domains:
+                if store.first_seen(domain):
+                    hits += 1
+            return hits
+
+        hits = benchmark(query_all)
+        assert hits == len(domains)
+        # the landed gold tier answers exactly what the analysis computed
+        for domain in domains[:50]:
+            rows = {
+                row.feed: row.first_seen for row in store.first_seen(domain)
+            }
+            assert rows[probe_feed] == first[domain]
+    finally:
+        store.close()
+    rate = len(domains) / benchmark.stats.stats.mean
+    benchmark.extra_info["queries"] = len(domains)
+    benchmark.extra_info["queries_per_sec"] = round(rate)
+    show(f"[store] first-seen: {len(domains):,} lookups, {rate:,.0f}/s")

@@ -6,6 +6,8 @@ Subcommands:
                    table and figure.
 * ``stream``    -- consume the feeds incrementally in simulation-time
                    order, with windowed snapshots and checkpoint/resume.
+* ``query``     -- answer cross-run questions (first-seen, feed stats,
+                   sighting listings) from a persisted sighting store.
 * ``recommend`` -- rank feeds for a research question (Section 5).
 * ``filter``    -- evaluate feeds as blocking oracles.
 * ``lint``      -- run the reprolint determinism analyzer (REP001..008)
@@ -31,7 +33,7 @@ from repro.analysis.filtering import evaluate_all_filters
 from repro.analysis.recommend import Question, rank_feeds
 from repro.ecosystem import EcosystemConfig, paper_config, small_config
 from repro.io.artifacts import ArtifactCache, default_cache_dir, fingerprint
-from repro.io.checkpoint import CheckpointError, read_checkpoint
+from repro.io.checkpoint import CheckpointError, read_checkpoint_any
 from repro.obs.hosttime import Stopwatch
 from repro.obs.manifest import (
     ManifestError,
@@ -44,7 +46,16 @@ from repro.pipeline import PaperPipeline
 from repro.reporting.report import write_report
 from repro.reporting.run_summary import render_run_summary
 from repro.reporting.tables import Table, format_percent
+from repro.store import SightingStore, StoreError
+from repro.store.query import (
+    open_store_file,
+    render_feed_stats,
+    render_first_seen,
+    render_runs,
+    render_sightings,
+)
 from repro.stream import CHECKPOINT_KIND, build_stream_engine
+from repro.stream.engine import CURSOR_CHECKPOINT_KIND
 
 
 def _progress(args, message: str) -> None:
@@ -59,6 +70,14 @@ def _artifact_cache(args) -> Optional[ArtifactCache]:
         return None
     root = getattr(args, "cache_dir", None) or default_cache_dir()
     return ArtifactCache(root)
+
+
+def _sighting_store(args) -> Optional[SightingStore]:
+    """The durable sighting store ``--store`` asks for, if any."""
+    path = getattr(args, "store", None)
+    if not path:
+        return None
+    return SightingStore.open(path)
 
 
 def _observability_tracer(args) -> Optional[obs.Tracer]:
@@ -93,6 +112,15 @@ def _finish_observability(
         )
         write_manifest(trace_path, manifest)
         _progress(args, f"Run manifest written to {trace_path}")
+    truncated = tracer.metrics.counter("feeds.truncated_records")
+    if truncated:
+        placements = tracer.metrics.counter("feeds.truncated_placements")
+        print(
+            f"warning: {truncated:,} captured records dropped by the "
+            f"per-placement safety cap across {placements:,} "
+            "placement(s); volume analyses undercount those placements",
+            file=sys.stderr,
+        )
     if getattr(args, "metrics", False):
         print(
             render_run_summary(
@@ -102,13 +130,16 @@ def _finish_observability(
         )
 
 
-def _build_pipeline(args) -> PaperPipeline:
+def _build_pipeline(
+    args, store: Optional[SightingStore] = None
+) -> PaperPipeline:
     config = small_config() if args.small else paper_config()
     pipeline = PaperPipeline(
         config,
         seed=args.seed,
         jobs=getattr(args, "jobs", None),
         cache=_artifact_cache(args),
+        store=store,
     )
     _progress(args, "Building world and collecting feeds...")
     pipeline.run()
@@ -117,23 +148,35 @@ def _build_pipeline(args) -> PaperPipeline:
 
 def _cmd_run(args) -> int:
     tracer = _observability_tracer(args)
-    with obs.activate(tracer):
-        pipeline = _build_pipeline(args)
-        if args.output:
-            files = write_report(pipeline, args.output)
-            print(f"Wrote {len(files)} artifacts to {args.output}:")
-            for name in files:
-                print(f"  {name}")
-        else:
-            print(pipeline.render_all())
+    store = _sighting_store(args)
+    try:
+        with obs.activate(tracer):
+            pipeline = _build_pipeline(args, store=store)
+            if args.output:
+                files = write_report(pipeline, args.output)
+                print(f"Wrote {len(files)} artifacts to {args.output}:")
+                for name in files:
+                    print(f"  {name}")
+            else:
+                print(pipeline.render_all())
+        if store is not None:
+            _progress(args, f"Sightings landed in {args.store}")
+    finally:
+        if store is not None:
+            store.close()
     _finish_observability(args, tracer, "run", pipeline.config)
     return 0
 
 
 def _cmd_stream(args) -> int:
     tracer = _observability_tracer(args)
-    with obs.activate(tracer):
-        status = _stream_body(args)
+    store = _sighting_store(args)
+    try:
+        with obs.activate(tracer):
+            status = _stream_body(args, store)
+    finally:
+        if store is not None:
+            store.close()
     if status == 0:
         _finish_observability(
             args, tracer, "stream",
@@ -142,7 +185,7 @@ def _cmd_stream(args) -> int:
     return status
 
 
-def _stream_body(args) -> int:
+def _stream_body(args, store: Optional[SightingStore] = None) -> int:
     config = small_config() if args.small else paper_config()
     _progress(args, "Building world and collecting feed sources...")
     engine = build_stream_engine(
@@ -166,7 +209,21 @@ def _stream_body(args) -> int:
 
     if args.resume:
         try:
-            engine.restore(read_checkpoint(args.resume, CHECKPOINT_KIND))
+            kind, payload = read_checkpoint_any(
+                args.resume, (CHECKPOINT_KIND, CURSOR_CHECKPOINT_KIND)
+            )
+            if kind == CURSOR_CHECKPOINT_KIND:
+                if store is None:
+                    print(
+                        f"error: {args.resume} is a store-backed cursor "
+                        "checkpoint; pass --store with the file the "
+                        "checkpointing run landed into",
+                        file=sys.stderr,
+                    )
+                    return 2
+                engine.restore_from_store(payload, store)
+            else:
+                engine.restore(payload)
         except CheckpointError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -175,6 +232,11 @@ def _stream_body(args) -> int:
             f"Resumed from {args.resume}: "
             f"{engine.records_processed:,} records already processed",
         )
+
+    if store is not None:
+        # Attach after any resume so the writer's per-feed positions
+        # line up with the merge cursors of the suffix still to come.
+        engine.attach_store(store, args.store, fingerprint(config))
 
     timeline = engine.world.timeline
     total_days = int(timeline.duration_days)
@@ -235,10 +297,39 @@ def _stream_body(args) -> int:
             return 2
         _progress(args, f"Checkpoint written to {args.checkpoint}")
 
+    if store is not None:
+        engine.finish_store()
+        _progress(args, f"Sightings landed in {args.store}")
+
     snapshot = engine.snapshot()
     if not engine.exhausted:
         _progress(args, snapshot.header())
     print(snapshot.render_tables())
+    return 0
+
+
+def _cmd_query(args) -> int:
+    try:
+        store = open_store_file(args.store)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.query_command == "first-seen":
+            print(render_first_seen(store, args.domain))
+        elif args.query_command == "feed-stats":
+            print(render_feed_stats(store))
+        elif args.query_command == "sightings":
+            limit = None if args.limit == 0 else args.limit
+            print(
+                render_sightings(
+                    store, feed=args.feed, since_day=args.since, limit=limit
+                )
+            )
+        else:  # runs
+            print(render_runs(store))
+    finally:
+        store.close()
     return 0
 
 
@@ -380,6 +471,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--metrics", action="store_true",
         help="print a per-stage timing and metrics summary to stderr",
     )
+    perf_parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="land every sighting in a durable SQLite sighting store at "
+             "PATH (created if absent; re-landing the same run is a "
+             "no-op); analysis output on stdout is unchanged",
+    )
 
     run_parser = subparsers.add_parser(
         "run", parents=[perf_parser],
@@ -420,6 +517,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="resume from a checkpoint written by --checkpoint",
     )
     stream_parser.set_defaults(handler=_cmd_stream)
+
+    query_parser = subparsers.add_parser(
+        "query",
+        help="answer cross-run questions from a persisted sighting store",
+    )
+    query_parser.add_argument(
+        "--store", required=True, metavar="PATH",
+        help="sighting store file written by run/stream --store",
+    )
+    query_sub = query_parser.add_subparsers(
+        dest="query_command", required=True
+    )
+    first_seen_parser = query_sub.add_parser(
+        "first-seen",
+        help="which feeds saw a domain, earliest sighting first",
+    )
+    first_seen_parser.add_argument("domain", metavar="DOMAIN")
+    query_sub.add_parser(
+        "feed-stats",
+        help="per-feed sighting/domain totals and drop accounting",
+    )
+    sightings_parser = query_sub.add_parser(
+        "sightings", help="list stored sightings in landing order"
+    )
+    sightings_parser.add_argument(
+        "--feed", default=None, metavar="FEED",
+        help="only sightings from this feed",
+    )
+    sightings_parser.add_argument(
+        "--since", type=int, default=None, metavar="DAY",
+        help="only sightings at or after this simulated day",
+    )
+    sightings_parser.add_argument(
+        "--limit", type=int, default=50, metavar="N",
+        help="print at most N sightings (0 = unlimited; default 50)",
+    )
+    query_sub.add_parser("runs", help="list the runs landed in the store")
+    query_parser.set_defaults(handler=_cmd_query)
 
     manifest_parser = subparsers.add_parser(
         "manifest",

@@ -94,7 +94,13 @@ def _percentile(ordered: Sequence[float], q: float) -> float:
     if low == high:
         return float(ordered[low])
     weight = position - low
-    return ordered[low] * (1 - weight) + ordered[high] * weight
+    low_val = float(ordered[low])
+    high_val = float(ordered[high])
+    # a + (b - a) * w is exact on ties and monotone in w; the clamp
+    # keeps one-ulp rounding inside the segment so percentiles never
+    # escape the sample range.
+    interpolated = low_val + (high_val - low_val) * weight
+    return min(max(interpolated, low_val), high_val)
 
 
 # ----------------------------------------------------------------------

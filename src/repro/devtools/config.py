@@ -40,6 +40,7 @@ SIMULATION_PACKAGES: Tuple[str, ...] = (
     "oracles",
     "analysis",
     "stream",
+    "store",
 )
 
 #: Packages whose floating-point accumulations must be order-stable

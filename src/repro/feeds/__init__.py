@@ -37,7 +37,12 @@ from repro.feeds.botnet import BotnetFeedConfig, BotnetFeed
 from repro.feeds.human import HumanFeedConfig, HumanIdentifiedFeed
 from repro.feeds.blacklist import BlacklistConfig, BlacklistFeed
 from repro.feeds.hybrid import HybridFeedConfig, HybridFeed
-from repro.feeds.suite import collect_all, standard_feed_suite, PAPER_FEED_ORDER
+from repro.feeds.suite import (
+    PAPER_FEED_ORDER,
+    collect_all,
+    land_dataset,
+    standard_feed_suite,
+)
 
 __all__ = [
     "BlacklistConfig",
@@ -59,5 +64,6 @@ __all__ = [
     "MxHoneypotFeed",
     "PAPER_FEED_ORDER",
     "collect_all",
+    "land_dataset",
     "standard_feed_suite",
 ]

@@ -18,6 +18,7 @@ import math
 import random
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.ecosystem.entities import AddressStrategy, Campaign, DomainPlacement
 from repro.ecosystem.world import World
 from repro.feeds.base import FeedRecord
@@ -111,7 +112,14 @@ def capture_placement(
     visible = (placement.end - start) / placement.duration
     expected = placement.volume * exposure * visible
     n = poisson(rng, expected)
-    n = min(n, cap if cap is not None else MAX_RECORDS_PER_PLACEMENT)
+    effective_cap = cap if cap is not None else MAX_RECORDS_PER_PLACEMENT
+    if n > effective_cap:
+        # The cap exists to bound memory against misconfigured
+        # exposures; hitting it silently would skew volume analyses
+        # with no trace, so account for every record it drops.
+        obs.add("feeds.truncated_records", n - effective_cap)
+        obs.add("feeds.truncated_placements")
+        n = effective_cap
     return scatter_records(
         rng, placement.domain, n, start, placement.end, delay
     )

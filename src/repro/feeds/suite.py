@@ -9,7 +9,7 @@ fractions, listing thresholds -- not per-result fudge factors.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from repro import obs
 from repro.ecosystem.world import World
@@ -21,6 +21,9 @@ from repro.feeds.human import HumanFeedConfig, HumanIdentifiedFeed
 from repro.feeds.hybrid import HybridFeedConfig, HybridFeed
 from repro.feeds.mx_honeypot import MxHoneypotConfig, MxHoneypotFeed
 from repro.parallel import fork_available, ordered_fanout, resolve_jobs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.sightings import RunWriter
 
 #: Feed mnemonics in the paper's Table 1 order.
 PAPER_FEED_ORDER = (
@@ -129,10 +132,19 @@ def standard_feed_suite(seed: int = 2012) -> List[FeedCollector]:
     ]
 
 
+def land_dataset(writer: "RunWriter", dataset: FeedDataset) -> None:
+    """Land one collected dataset into a sighting-store run."""
+    columns = dataset.to_columns()
+    writer.land_sightings(
+        dataset.name, zip(columns.domains, columns.times)
+    )
+
+
 def collect_all(
     world: World,
     collectors: Optional[Iterable[FeedCollector]] = None,
     jobs: Optional[int] = None,
+    writer: Optional["RunWriter"] = None,
 ) -> Dict[str, FeedDataset]:
     """Run every collector against *world*; keyed by feed mnemonic.
 
@@ -142,6 +154,12 @@ def collect_all(
     byte-identical to a serial run at any worker count; parallel
     results come back as column-backed datasets (cheap to transport),
     which serve the same statistics in the same order.
+
+    With a *writer* attached, each dataset lands in the sighting store
+    as it is collected (in collector order on the parallel path, where
+    children return columns and the parent lands them).  Landing is a
+    store-side effect only -- the returned datasets are identical with
+    or without it.
     """
     ordered = (
         list(collectors)
@@ -174,6 +192,9 @@ def collect_all(
         }
         for dataset in results.values():
             obs.add("feeds.records", dataset.total_samples)
+            if writer is not None:
+                with obs.span(f"store.land:{dataset.name}"):
+                    land_dataset(writer, dataset)
         return results
 
     datasets: Dict[str, FeedDataset] = {}
@@ -183,5 +204,8 @@ def collect_all(
             obs.add("feeds.records", dataset.total_samples)
             if span is not None:
                 span.attributes["records"] = dataset.total_samples
+        if writer is not None:
+            with obs.span(f"store.land:{collector.name}"):
+                land_dataset(writer, dataset)
         datasets[collector.name] = dataset
     return datasets

@@ -10,6 +10,15 @@ Input format (JSONL): one object per sighting,
 ``{"url": "http://x.example.com/p", "t": 12345}``.
 Bare hostnames are accepted too (the domain-only feed style):
 ``{"host": "x.example.com", "t": 12345}``.
+
+Every normalized record additionally passes the sighting store's
+silver-tier gate (:func:`repro.store.silver.validate_sighting`), so
+the drop accounting here and the store's bronze-tier provenance can
+never disagree about what was kept: a record the store would refuse
+(e.g. a timestamp outside the signed-64-bit storage range) is counted
+as ``invalid_sighting`` here and never reaches a dataset.  With a
+store attached, every raw line -- parseable or not -- lands as a
+bronze row with its status and reason.
 """
 
 from __future__ import annotations
@@ -23,6 +32,9 @@ from repro import obs
 from repro.domains.parse import try_registered_domain
 from repro.domains.url import try_domain_of_url
 from repro.feeds.base import FeedDataset, FeedRecord, FeedType
+from repro.io.artifacts import fingerprint
+from repro.store.sightings import RunWriter, SightingStore
+from repro.store.silver import validate_sighting
 
 
 @dataclasses.dataclass
@@ -34,6 +46,9 @@ class IngestStats:
     missing_fields: int = 0
     unparseable_url: int = 0
     unparseable_host: int = 0
+    #: Parsed fine but refused by the store's silver-tier validation
+    #: (malformed domain or a timestamp outside int64 storage bounds).
+    invalid_sighting: int = 0
 
     @property
     def total(self) -> int:
@@ -44,6 +59,7 @@ class IngestStats:
             + self.missing_fields
             + self.unparseable_url
             + self.unparseable_host
+            + self.invalid_sighting
         )
 
     @property
@@ -87,30 +103,64 @@ def ingest_url_lines(
     name: str,
     feed_type: FeedType = FeedType.MX_HONEYPOT,
     has_volume: bool = True,
+    writer: Optional[RunWriter] = None,
 ) -> Tuple[FeedDataset, IngestStats]:
-    """Normalize raw JSONL lines into a dataset plus drop statistics."""
+    """Normalize raw JSONL lines into a dataset plus drop statistics.
+
+    With a *writer* attached, every raw line lands in the sighting
+    store: accepted records as bronze + silver rows, drops as bronze
+    rows carrying their rejection reason.  The store's validation is
+    the same :func:`validate_sighting` gate applied here, so the
+    ``IngestStats`` drop totals and the store's bronze accounting
+    always agree.
+    """
     stats = IngestStats()
     records: List[FeedRecord] = []
     for line in lines:
         line = line.strip()
         if not line:
             continue
+        record: Optional[FeedRecord] = None
         try:
             obj = json.loads(line)
         except json.JSONDecodeError:
+            reason: Optional[str] = "bad_json"
+        else:
+            if not isinstance(obj, dict):
+                reason = "bad_json"
+            else:
+                record, normalize_reason = normalize_record(obj)
+                reason = None if record is not None else normalize_reason
+        if record is not None:
+            # The silver gate keeps ingest accounting and store
+            # accounting structurally identical: anything the store
+            # would refuse is dropped here too, under one bucket.
+            silver_reason = reason = validate_sighting(
+                record.domain, record.time
+            )
+            if silver_reason is not None:
+                record = None
+                stats.invalid_sighting += 1
+        elif reason == "bad_json":
             stats.bad_json += 1
-            continue
-        if not isinstance(obj, dict):
-            stats.bad_json += 1
-            continue
-        record, reason = normalize_record(obj)
-        if record is None:
+        else:
+            assert reason is not None
             setattr(stats, reason, getattr(stats, reason) + 1)
-            continue
-        stats.accepted += 1
-        records.append(record)
+        if writer is not None:
+            writer.land_raw(
+                name,
+                line,
+                record.domain if record is not None else None,
+                record.time if record is not None else None,
+                reject_reason=reason,
+            )
+        if record is not None:
+            stats.accepted += 1
+            records.append(record)
     obs.add("ingest.accepted", stats.accepted)
     obs.add("ingest.dropped", stats.total - stats.accepted)
+    if writer is not None:
+        writer.finish()
     dataset = FeedDataset(name, feed_type, records, has_volume)
     return dataset, stats
 
@@ -120,10 +170,28 @@ def ingest_url_file(
     name: str,
     feed_type: FeedType = FeedType.MX_HONEYPOT,
     has_volume: bool = True,
+    store: Optional[SightingStore] = None,
 ) -> Tuple[FeedDataset, IngestStats]:
-    """Normalize a raw URL-feed file into a dataset plus statistics."""
+    """Normalize a raw URL-feed file into a dataset plus statistics.
+
+    With a *store*, the file's records land under a content-derived
+    run key, so re-ingesting the same file into the same store is a
+    no-op while a changed file lands as a new run.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        return ingest_url_lines(handle, name, feed_type, has_volume)
+        content = handle.read()
+    writer = None
+    if store is not None:
+        content_fingerprint = fingerprint(content)
+        writer = store.open_run(
+            f"ingest:{name}:{content_fingerprint}",
+            0,
+            content_fingerprint,
+            "ingest",
+        )
+    return ingest_url_lines(
+        content.splitlines(), name, feed_type, has_volume, writer=writer
+    )
 
 
 def dedup_within_window(

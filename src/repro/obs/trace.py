@@ -68,6 +68,8 @@ BASELINE_COUNTERS = (
     "cache.miss",
     "cache.store",
     "cache.invalidation",
+    "feeds.truncated_records",
+    "feeds.truncated_placements",
 )
 
 

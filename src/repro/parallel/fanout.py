@@ -19,7 +19,17 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import os
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro import obs
 from repro.obs.hosttime import Stopwatch
@@ -64,20 +74,45 @@ def fork_available() -> bool:
     return True
 
 
-def _run_indexed(index: int) -> Tuple[int, Any, int, float]:
+#: A counter value: ints stay ints end-to-end so the parallel and
+#: serial metric snapshots serialize identically (5, never 5.0).
+Number = Union[int, float]
+
+
+def _counter_snapshot() -> Dict[str, Number]:
+    """Current counter values of the active tracer (empty when none)."""
+    tracer = obs.current_tracer()
+    if tracer is None:
+        return {}
+    return dict(tracer.metrics.snapshot()["counters"])
+
+
+def _run_indexed(
+    index: int,
+) -> Tuple[int, Any, int, float, Dict[str, Number]]:
     """Worker body: run one inherited task, tag the result with its index.
 
-    Alongside the result the worker reports its pid and the task's
+    Alongside the result the worker reports its pid, the task's
     wall-clock duration (measured through the :mod:`repro.obs`
-    quarantine) so the parent can reconstruct per-worker load without
-    any shared mutable state.
+    quarantine), and the delta of every tracer counter the task
+    incremented.  The worker's tracer is a copy-on-write clone of the
+    parent's, so its increments would otherwise die with the process;
+    shipping the per-task delta lets the parent fold them back in,
+    keeping counters identical between serial and parallel runs.
     """
     tasks = _ACTIVE_TASKS
     if tasks is None:  # pragma: no cover - impossible under fork
         raise RuntimeError("no active fan-out task list in worker")
+    before = _counter_snapshot()
     watch = Stopwatch()
     result = tasks[index]()
-    return index, result, os.getpid(), watch.elapsed()
+    elapsed = watch.elapsed()
+    deltas = {
+        name: value - before.get(name, 0)
+        for name, value in _counter_snapshot().items()
+        if value != before.get(name, 0)
+    }
+    return index, result, os.getpid(), elapsed, deltas
 
 
 def _task_label(labels: Optional[Sequence[str]], index: int) -> str:
@@ -181,8 +216,17 @@ def ordered_fanout(
                     _run_indexed, range(len(tasks)), chunksize=1
                 )
             obs.add("fanout.tasks", len(tasks))
+            # Fold each worker's counter increments back into the
+            # parent tracer, in task-index order: counters are sums,
+            # so the merged totals match a serial run exactly.
+            for _, _, _, _, deltas in tagged:
+                for name in sorted(deltas):
+                    obs.add(name, deltas[name])
             _record_worker_stats(
-                [(index, pid, duration) for index, _, pid, duration in tagged],
+                [
+                    (index, pid, duration)
+                    for index, _, pid, duration, _ in tagged
+                ],
                 labels,
                 watch.elapsed(),
             )
@@ -190,6 +234,6 @@ def ordered_fanout(
         _ACTIVE_TASKS = None
         gc.unfreeze()
     results: List[Any] = [None] * len(tasks)
-    for index, value, _, _ in tagged:
+    for index, value, _, _, _ in tagged:
         results[index] = value
     return results

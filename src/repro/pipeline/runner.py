@@ -34,10 +34,12 @@ from repro.feeds import (
     FeedDataset,
     PAPER_FEED_ORDER,
     collect_all,
+    land_dataset,
     standard_feed_suite,
 )
 from repro.feeds.base import ColumnarFeedDataset, PackedColumns
 from repro.io.artifacts import ArtifactCache, artifact_key, fingerprint
+from repro.store.sightings import RunWriter, SightingStore, run_key_for
 from repro.parallel import ordered_fanout, resolve_jobs
 from repro.reporting.charts import (
     render_bars,
@@ -82,6 +84,7 @@ class PaperPipeline:
         feed_order: Sequence[str] = PAPER_FEED_ORDER,
         jobs: Optional[int] = None,
         cache: Optional[ArtifactCache] = None,
+        store: Optional[SightingStore] = None,
     ):
         self.config = config or paper_config()
         self.seed = seed
@@ -95,6 +98,12 @@ class PaperPipeline:
         #: the standard feed suite are cached -- custom collector lists
         #: are not part of the cache key.
         self.cache = cache
+        #: Optional sighting store.  Every collected record lands in it
+        #: under a run key derived from (config fingerprint, seed) --
+        #: like the cache key, a custom collector list is not part of
+        #: the key.  The store is an output only: analyses never read
+        #: it, so results are byte-identical with or without one.
+        self.store = store
         self._result: Optional[PipelineResult] = None
 
     # ------------------------------------------------------------------
@@ -162,6 +171,7 @@ class PaperPipeline:
         if self._result is not None:
             return self._result
         with obs.span("pipeline.run", seed=self.seed):
+            writer = self._open_store_run()
             with obs.span("cache.load-state"):
                 self._result = self._load_cached_state()
             if self._result is None:
@@ -171,7 +181,9 @@ class PaperPipeline:
                     self._collectors or standard_feed_suite(self.seed)
                 )
                 with obs.span("feeds.collect", feeds=len(collectors)):
-                    datasets = collect_all(world, collectors, jobs=self.jobs)
+                    datasets = collect_all(
+                        world, collectors, jobs=self.jobs, writer=writer
+                    )
                 with obs.span("comparison.assemble"):
                     comparison = FeedComparison(
                         world, datasets, seed=self.seed
@@ -179,7 +191,28 @@ class PaperPipeline:
                 self._result = PipelineResult(world, datasets, comparison)
                 with obs.span("cache.store-state"):
                     self._store_state(self._result)
+            elif writer is not None:
+                # Cache hit: the datasets never passed through
+                # collect_all, so land them here.  Idempotent landing
+                # makes this a no-op when a previous run of the same
+                # (config, seed) already landed into this store.
+                with obs.span("store.land"):
+                    for name in self._result.datasets:
+                        land_dataset(writer, self._result.datasets[name])
+            if writer is not None:
+                writer.finish()
         return self._result
+
+    def _open_store_run(self) -> Optional[RunWriter]:
+        if self.store is None:
+            return None
+        config_fingerprint = fingerprint(self.config)
+        return self.store.open_run(
+            run_key_for(config_fingerprint, self.seed),
+            self.seed,
+            config_fingerprint,
+            "run",
+        )
 
     @property
     def comparison(self) -> FeedComparison:

@@ -23,6 +23,7 @@ feed identical statistics into the same analyses and renderers.
 
 from repro.stream.engine import (
     CHECKPOINT_KIND,
+    CURSOR_CHECKPOINT_KIND,
     StreamEngine,
     StreamSnapshot,
     build_stream_engine,
@@ -42,6 +43,7 @@ from repro.stream.state import (
 
 __all__ = [
     "CHECKPOINT_KIND",
+    "CURSOR_CHECKPOINT_KIND",
     "DEFAULT_BATCH_SIZE",
     "FeedAccumulator",
     "FrozenFeedStats",

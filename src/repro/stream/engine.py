@@ -28,6 +28,7 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Tuple,
 )
 
 from repro import obs
@@ -53,7 +54,7 @@ from repro.feeds import (
 )
 from repro.io.checkpoint import (
     CheckpointError,
-    read_checkpoint,
+    read_checkpoint_any,
     write_checkpoint,
 )
 from repro.reporting.paper_tables import (
@@ -63,6 +64,7 @@ from repro.reporting.paper_tables import (
     table1_data,
 )
 from repro.simtime import MINUTES_PER_DAY, SimTime
+from repro.store.sightings import RunWriter, SightingStore, run_key_for
 from repro.stream.merge import DEFAULT_BATCH_SIZE, RecordStream, StreamEvent
 from repro.stream.state import (
     FrozenFeedStats,
@@ -75,6 +77,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Checkpoint envelope kind for stream-engine state.
 CHECKPOINT_KIND = "stream-engine"
+
+#: Checkpoint envelope kind for store-backed cursor checkpoints: the
+#: accumulator state is reconstructed from the sighting store, so the
+#: file carries only the merge cursors and a pointer at the store.
+CURSOR_CHECKPOINT_KIND = "stream-cursor"
 
 
 @dataclasses.dataclass
@@ -201,6 +208,58 @@ class StreamEngine:
                 for ds in self.datasets.values()
             ]
         )
+        self._writer: Optional[RunWriter] = None
+        self._store_path: Optional[str] = None
+        self._run_key: Optional[str] = None
+        #: True while every store landing this session validated clean;
+        #: a rejection would desynchronize silver replay from the merge
+        #: cursors, so checkpoints fall back to full state payloads.
+        self._store_clean = True
+
+    # ------------------------------------------------------------------
+    # Store landing
+    # ------------------------------------------------------------------
+
+    def attach_store(
+        self,
+        store: SightingStore,
+        path: str,
+        config_fingerprint: str,
+        command: str = "stream",
+    ) -> None:
+        """Land every consumed batch into *store*, idempotently.
+
+        The run key derives from (config fingerprint, seed), the same
+        identity the artifact cache uses, so a batch ``run --store``
+        and a ``stream --store`` against the same file land the same
+        run exactly once.  When the engine is already positioned
+        mid-stream (a resumed run), the writer's per-feed positions
+        are aligned with the merge cursors so the suffix about to be
+        consumed lands after the already-durable prefix.
+        """
+        self._run_key = run_key_for(config_fingerprint, self.seed)
+        self._writer = store.open_run(
+            self._run_key, self.seed, config_fingerprint, command
+        )
+        self._store_path = path
+        for feed, cursor in self._stream.cursors.items():
+            self._writer.set_position(feed, cursor)
+
+    def _land_batch(self, batch: Sequence[StreamEvent]) -> None:
+        if self._writer is None:
+            return
+        groups: Dict[str, List[Tuple[str, SimTime]]] = {}
+        for time, feed, domain in batch:
+            groups.setdefault(feed, []).append((domain, time))
+        for feed, rows in groups.items():
+            stats = self._writer.land_sightings(feed, rows)
+            if stats.rejected:
+                self._store_clean = False
+
+    def finish_store(self) -> None:
+        """Commit any store landings performed so far."""
+        if self._writer is not None:
+            self._writer.finish()
 
     # ------------------------------------------------------------------
     # Consumption
@@ -235,8 +294,11 @@ class StreamEngine:
             if not batch:
                 break
             self.state.update_batch(batch)
+            self._land_batch(batch)
             consumed += len(batch)
             batches += 1
+        if self._writer is not None:
+            self._writer.finish()
         obs.add("stream.records", consumed)
         obs.add("stream.batches", batches)
         return consumed
@@ -312,9 +374,35 @@ class StreamEngine:
             "state": self.state.to_payload(),
         }
 
+    def cursor_checkpoint_payload(self) -> Dict[str, Any]:
+        """Cursor-only position for store-backed engines.
+
+        The per-feed accumulator state is *not* serialized: the store's
+        silver tier holds every consumed sighting, so resuming replays
+        each feed's landed prefix (bounded by the cursors) instead.
+        """
+        return {
+            "seed": self.seed,
+            "feed_order": list(self.feed_order),
+            "cursors": self._stream.cursors,
+            "store": {"path": self._store_path, "run_key": self._run_key},
+        }
+
     def save_checkpoint(self, path: str) -> None:
-        """Atomically write the current position to *path*."""
-        write_checkpoint(path, CHECKPOINT_KIND, self.checkpoint_payload())
+        """Atomically write the current position to *path*.
+
+        A store-backed engine writes a compact cursor checkpoint
+        (flushing the store first, so the cursors never point past the
+        durable silver rows); otherwise the full state payload is
+        written as before.
+        """
+        if self._writer is not None and self._store_clean:
+            self._writer.finish()
+            write_checkpoint(
+                path, CURSOR_CHECKPOINT_KIND, self.cursor_checkpoint_payload()
+            )
+        else:
+            write_checkpoint(path, CHECKPOINT_KIND, self.checkpoint_payload())
 
     def restore(self, payload: Dict[str, Any]) -> None:
         """Restore a position produced by :meth:`checkpoint_payload`.
@@ -351,6 +439,70 @@ class StreamEngine:
         self.state = state
         self.feed_order = feed_order
 
+    def restore_from_store(
+        self, payload: Dict[str, Any], store: SightingStore
+    ) -> None:
+        """Restore a cursor checkpoint by replaying store silver rows.
+
+        Each feed's landed prefix (bounded by its cursor) is replayed
+        through a fresh :class:`StreamState`.  An accumulator only ever
+        sees its own feed's chronological subsequence, so per-feed
+        replay rebuilds the exact state the live engine had -- the
+        cross-feed interleaving it skips does not affect any
+        accumulator, and the cross-feed counters are order-independent
+        set sizes.
+        """
+        try:
+            seed = int(payload["seed"])
+            cursors = {
+                str(k): int(v) for k, v in dict(payload["cursors"]).items()
+            }
+            feed_order = list(payload["feed_order"])
+            run_key = str(dict(payload["store"])["run_key"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"bad cursor checkpoint: {exc}") from exc
+        if seed != self.seed:
+            raise CheckpointError(
+                f"checkpoint seed {seed} does not match engine seed "
+                f"{self.seed}"
+            )
+        if set(cursors) != set(self.datasets):
+            raise CheckpointError(
+                "checkpoint feeds do not match engine feeds: "
+                f"{sorted(cursors)} vs {sorted(self.datasets)}"
+            )
+        run = store.run_by_key(run_key)
+        if run is None:
+            raise CheckpointError(
+                f"store has no run {run_key!r}; cannot replay cursors"
+            )
+        state = StreamState(
+            [
+                (ds.name, ds.feed_type, ds.has_volume)
+                for ds in self.datasets.values()
+            ]
+        )
+        replayed = sum(  # reprolint: disable=REP004 -- int cursor counts
+            cursors.values()
+        )
+        with obs.span("store.replay", records=replayed):
+            for name in self.datasets:
+                expected = cursors[name]
+                if expected == 0:
+                    continue
+                rows = store.silver_prefix(run.run_id, name, limit=expected)
+                if len(rows) != expected:
+                    raise CheckpointError(
+                        f"store holds {len(rows)} sightings for feed "
+                        f"{name!r} but the checkpoint cursor expects "
+                        f"{expected}; the store cannot replay this run"
+                    )
+                for domain, time in rows:
+                    state.update(StreamEvent(time, name, domain))
+        self._stream.seek(cursors)
+        self.state = state
+        self.feed_order = feed_order
+
     @classmethod
     def resume(
         cls,
@@ -358,9 +510,18 @@ class StreamEngine:
         datasets: Mapping[str, FeedDataset],
         path: str,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        store: Optional[SightingStore] = None,
     ) -> "StreamEngine":
-        """Build an engine over *datasets* positioned at checkpoint *path*."""
-        payload = read_checkpoint(path, CHECKPOINT_KIND)
+        """Build an engine over *datasets* positioned at checkpoint *path*.
+
+        Accepts both checkpoint shapes: a full ``stream-engine`` state
+        payload, or a ``stream-cursor`` checkpoint -- the latter needs
+        *store* (the sighting store the checkpointing run landed into)
+        to replay the consumed prefix.
+        """
+        kind, payload = read_checkpoint_any(
+            path, (CHECKPOINT_KIND, CURSOR_CHECKPOINT_KIND)
+        )
         engine = cls(
             world,
             datasets,
@@ -368,7 +529,15 @@ class StreamEngine:
             feed_order=list(payload.get("feed_order", PAPER_FEED_ORDER)),
             batch_size=batch_size,
         )
-        engine.restore(payload)
+        if kind == CURSOR_CHECKPOINT_KIND:
+            if store is None:
+                raise CheckpointError(
+                    f"{path}: cursor checkpoint needs its sighting store "
+                    "(pass --store with the file the run landed into)"
+                )
+            engine.restore_from_store(payload, store)
+        else:
+            engine.restore(payload)
         return engine
 
     def __repr__(self) -> str:

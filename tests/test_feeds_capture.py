@@ -100,6 +100,30 @@ class TestCapturePlacement:
         records = capture_placement(random.Random(6), p, 1.0, cap=17)
         assert len(records) == 17
 
+    def test_truncation_is_counted_not_silent(self):
+        # Regression: hitting the safety cap used to drop records with
+        # no trace; now every dropped record lands in an obs counter.
+        from repro import obs
+
+        p = DomainPlacement("a.com", 0, 1000, 10_000.0)
+        tracer = obs.Tracer()
+        with obs.activate(tracer):
+            records = capture_placement(random.Random(6), p, 1.0, cap=17)
+        assert len(records) == 17
+        dropped = tracer.metrics.counter("feeds.truncated_records")
+        assert dropped > 0
+        assert tracer.metrics.counter("feeds.truncated_placements") == 1
+
+    def test_uncapped_capture_counts_nothing(self):
+        from repro import obs
+
+        p = DomainPlacement("a.com", 0, 1000, 1000.0)
+        tracer = obs.Tracer()
+        with obs.activate(tracer):
+            capture_placement(random.Random(6), p, 0.5)
+        assert tracer.metrics.counter("feeds.truncated_records") == 0
+        assert tracer.metrics.counter("feeds.truncated_placements") == 0
+
     def test_not_before_truncates(self):
         p = DomainPlacement("a.com", 0, 1000, 10_000.0)
         records = capture_placement(

@@ -152,6 +152,87 @@ class TestIngestLines:
         assert stats.accepted == 1
 
 
+class TestIngestSilverGate:
+    """Ingest accounting and store accounting must never disagree."""
+
+    def test_storable_range_enforced_at_ingest(self):
+        # Regression: a timestamp beyond int64 normalized fine and was
+        # accepted into a dataset the store would then refuse.  The
+        # silver gate now drops it at ingest, under its own bucket.
+        dataset, stats = ingest_url_lines(
+            lines(
+                {"host": "ok.com", "t": 1},
+                {"host": "huge.net", "t": 2**63},
+                {"host": "tiny.org", "t": -(2**63) - 1},
+            ),
+            name="x",
+        )
+        assert dataset.unique_domains() == {"ok.com"}
+        assert stats.accepted == 1
+        assert stats.invalid_sighting == 2
+        assert stats.total == 3
+
+    def test_stats_agree_with_store_bronze(self):
+        from repro.store import SightingStore
+
+        store = SightingStore.in_memory()
+        writer = store.open_run("ingest-test", 0, "cfg", "ingest")
+        dataset, stats = ingest_url_lines(
+            lines(
+                {"host": "ok.com", "t": 1},
+                {"host": "huge.net", "t": 2**63},
+                {"t": 3},
+            )
+            + ["{broken json"],
+            name="x",
+            writer=writer,
+        )
+        rejected = sum(
+            row.count for row in store.bronze_summary() if row.status != "ok"
+        )
+        accepted = sum(
+            row.count for row in store.bronze_summary() if row.status == "ok"
+        )
+        assert accepted == stats.accepted == 1
+        assert rejected == stats.total - stats.accepted == 3
+        reasons = {
+            row.reason for row in store.bronze_summary() if row.reason
+        }
+        assert reasons == {"bad_json", "missing_fields", "time_out_of_range"}
+        assert len(store.sightings()) == dataset.total_samples
+
+    def test_reingesting_same_file_is_a_noop(self, tmp_path):
+        from repro.store import SightingStore
+
+        path = tmp_path / "feed.jsonl"
+        path.write_text(
+            "\n".join(
+                lines(
+                    {"url": "http://a.example.org/", "t": 7},
+                    {"host": "b.net", "t": 8},
+                )
+            )
+        )
+        store = SightingStore.in_memory()
+        _, first = ingest_url_file(str(path), name="f", store=store)
+        _, second = ingest_url_file(str(path), name="f", store=store)
+        assert first == second  # accounting identical on re-landing
+        assert len(store.sightings()) == 2
+        assert len(store.runs()) == 1
+
+    def test_changed_file_lands_as_new_run(self, tmp_path):
+        from repro.store import SightingStore
+
+        path = tmp_path / "feed.jsonl"
+        store = SightingStore.in_memory()
+        path.write_text("\n".join(lines({"host": "a.com", "t": 1})))
+        ingest_url_file(str(path), name="f", store=store)
+        path.write_text("\n".join(lines({"host": "b.net", "t": 2})))
+        ingest_url_file(str(path), name="f", store=store)
+        assert len(store.runs()) == 2
+        assert len(store.sightings()) == 2
+
+
 class TestDedup:
     def make_dataset(self, times, domain="a.com"):
         return FeedDataset(

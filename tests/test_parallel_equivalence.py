@@ -71,6 +71,34 @@ class TestOrderedFanout:
         # assume this returns True there.
         assert fork_available()
 
+    def test_worker_counters_fold_back_into_parent(self):
+        # Regression: counters incremented inside forked workers died
+        # with the worker process, so a parallel run under-reported
+        # everything its tasks counted (cache hits, truncated records,
+        # store landings).  Workers now ship per-task deltas.
+        from repro import obs
+
+        def make(i):
+            def task():
+                obs.add("test.sightings", i + 1)
+                obs.add("test.floaty", 0.5)
+                return i
+
+            return task
+
+        tasks = [make(i) for i in range(6)]
+        serial = obs.Tracer()
+        with obs.activate(serial):
+            ordered_fanout(tasks, jobs=1)
+        parallel = obs.Tracer()
+        with obs.activate(parallel):
+            ordered_fanout(tasks, jobs=3)
+        for name in ("test.sightings", "test.floaty"):
+            s = serial.metrics.counter(name)
+            p = parallel.metrics.counter(name)
+            assert s == p
+            assert type(s) is type(p)  # ints stay ints across the fork
+
 
 # ----------------------------------------------------------------------
 # Columnar datasets serve identical statistics
