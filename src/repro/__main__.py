@@ -334,9 +334,20 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    """Exit codes are a documented contract: 0 = clean, 1 = findings
+    (errors always; warnings too under --strict), 2 = usage or I/O
+    problems (unknown rule, unreadable/unparsable input, bad --sarif
+    path)."""
     import repro
-    from repro.devtools import LintConfig, lint_paths, render_json, render_text
+    from repro.devtools import (
+        LintConfig,
+        lint_paths,
+        render_json,
+        render_text,
+        write_sarif,
+    )
     from repro.devtools.lint import LintError, has_errors
+    from repro.io.artifacts import ArtifactCache, default_cache_dir
 
     if args.schema_pin:
         from repro.devtools.rules import compute_schema_pin
@@ -348,6 +359,16 @@ def _cmd_lint(args) -> int:
             )
         )
         return 0
+    if args.store_schema_pin:
+        from repro.devtools.rules import compute_schema_pin
+        from repro.store import backend
+
+        print(
+            compute_schema_pin(
+                backend.STORE_VERSION, backend.STORE_SCHEMA_COLUMNS
+            )
+        )
+        return 0
 
     paths = args.paths or [os.path.dirname(os.path.abspath(repro.__file__))]
     try:
@@ -355,11 +376,22 @@ def _cmd_lint(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    cache = None
+    if not args.no_cache:
+        cache = ArtifactCache(args.cache_dir or default_cache_dir())
     try:
-        findings = lint_paths(paths, config)
+        findings = lint_paths(paths, config, jobs=args.jobs, cache=cache)
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.sarif is not None:
+        try:
+            write_sarif(args.sarif, findings, base_dir=os.getcwd())
+        except OSError as exc:
+            print(
+                f"error: cannot write {args.sarif}: {exc}", file=sys.stderr
+            )
+            return 2
     print(render_json(findings) if args.json else render_text(findings))
     if findings and (args.strict or has_errors(findings)):
         return 1
@@ -575,7 +607,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     lint_parser = subparsers.add_parser(
         "lint",
-        help="run the reprolint determinism analyzer (REP001..REP008)",
+        help="run the reprolint determinism analyzer (REP001..REP012)",
+        description="Exit codes: 0 = no qualifying findings, "
+                    "1 = findings (errors always; warnings too with "
+                    "--strict), 2 = usage or input errors. Findings "
+                    "are sorted (file, line, rule), so output is "
+                    "byte-stable at any --jobs value.",
     )
     lint_parser.add_argument(
         "paths", nargs="*", metavar="PATH",
@@ -594,8 +631,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="disable a rule (repeatable)",
     )
     lint_parser.add_argument(
+        "--sarif", default=None, metavar="PATH",
+        help="also write a SARIF 2.1.0 report to PATH (for CI "
+             "annotation); stdout output is unchanged",
+    )
+    lint_parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes for the per-file summary phase "
+             "(default 1 = serial, 0 = all cores); findings are "
+             "byte-identical at any value",
+    )
+    lint_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact cache for incremental re-linting "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    lint_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every file summary; neither read nor write "
+             "the artifact cache",
+    )
+    lint_parser.add_argument(
         "--schema-pin", action="store_true",
         help="print the expected CHECKPOINT_SCHEMA_PIN and exit",
+    )
+    lint_parser.add_argument(
+        "--store-schema-pin", action="store_true",
+        help="print the expected STORE_SCHEMA_PIN and exit",
     )
     lint_parser.set_defaults(handler=_cmd_lint)
 

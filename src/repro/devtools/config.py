@@ -133,6 +133,42 @@ DEFAULT_RULES: Dict[str, RuleInfo] = {
             "obs.hosttime (Stopwatch, wall_now) instead of reading "
             "clocks directly.",
         ),
+        RuleInfo(
+            "REP009",
+            "no shared-state writes reachable from a parallel task",
+            "Functions dispatched through parallel.fanout.ordered_fanout "
+            "run in forked workers: writes to globals, closed-over "
+            "objects, or module-level caches land in a copy-on-write "
+            "child and silently vanish -- or, under a future threaded "
+            "executor, race. State must flow back through task return "
+            "values; a pragma records why a flagged write is "
+            "fork-safe (e.g. an idempotent process-local memo).",
+        ),
+        RuleInfo(
+            "REP010",
+            "no shared sequential RNG stream across a task boundary",
+            "A draw inside fan-out work that consumes a module-level or "
+            "closed-over RNG advances a stream whose position depends "
+            "on task interleaving and worker count. Every task must "
+            "draw from its own stats.rng.derive_rng keyed stream "
+            "(the mail-oracle bug class).",
+        ),
+        RuleInfo(
+            "REP011",
+            "no float accumulation over unordered helper results",
+            "sum() over the return value of a helper that (transitively) "
+            "returns a set or dict view accumulates floats in container "
+            "order even though the call site looks innocent. Sort the "
+            "result before accumulating, or return a sorted sequence.",
+        ),
+        RuleInfo(
+            "REP012",
+            "store SQL must match the pinned schema",
+            "SQL strings in repro.store must agree with the column "
+            "tuples pinned by STORE_SCHEMA_PIN; unpinned drift lets a "
+            "schema edit ship without a version bump, breaking stores "
+            "written by earlier runs.",
+        ),
     )
 }
 

@@ -1,0 +1,131 @@
+"""SARIF 2.1.0 emitter for reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what CI
+platforms ingest to annotate pull requests with inline findings.  The
+emitter is deliberately minimal -- one run, one tool driver, every
+rule in the registry (stable ``ruleIndex`` regardless of which rules
+fired), one result per finding -- and fully deterministic: keys are
+sorted and locations use forward-slash relative URIs, so two runs
+over the same tree produce byte-identical documents.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.devtools.config import DEFAULT_RULES, Severity
+from repro.devtools.lint import Finding
+
+#: The SARIF spec version this emitter targets.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Reported tool version: (engine major).(rule count).
+TOOL_VERSION = f"2.{len(DEFAULT_RULES)}"
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _artifact_uri(path: str, base_dir: Optional[str]) -> str:
+    """Forward-slash URI for *path*, relative to *base_dir* if inside."""
+    if base_dir is not None:
+        try:
+            relative = os.path.relpath(path, base_dir)
+        except ValueError:  # different drive (Windows)
+            relative = path
+        if not relative.startswith(".."):
+            return relative.replace(os.sep, "/")
+    return path.replace(os.sep, "/")
+
+
+def _rule_descriptors() -> List[Dict[str, object]]:
+    descriptors: List[Dict[str, object]] = []
+    for code in sorted(DEFAULT_RULES):
+        info = DEFAULT_RULES[code]
+        descriptors.append(
+            {
+                "id": code,
+                "name": info.title,
+                "shortDescription": {"text": info.title},
+                "fullDescription": {"text": info.rationale},
+                "defaultConfiguration": {
+                    "level": _level(info.default_severity)
+                },
+            }
+        )
+    return descriptors
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    base_dir: Optional[str] = None,
+) -> str:
+    """One SARIF document for *findings*; deterministic bytes.
+
+    *base_dir* (usually the repo root) relativizes artifact URIs so
+    CI can map them onto the checked-out tree.
+    """
+    rule_index = {
+        code: index for index, code in enumerate(sorted(DEFAULT_RULES))
+    }
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index[finding.rule],
+                "level": _level(finding.severity),
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": _artifact_uri(
+                                    finding.path, base_dir
+                                ),
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "https://example.invalid/reprolint"
+                        ),
+                        "version": TOOL_VERSION,
+                        "rules": _rule_descriptors(),
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def write_sarif(
+    path: str,
+    findings: Sequence[Finding],
+    base_dir: Optional[str] = None,
+) -> None:
+    """Write the SARIF document for *findings* to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_sarif(findings, base_dir=base_dir))
+        handle.write("\n")

@@ -133,7 +133,11 @@ def code_fingerprint() -> str:
                 with open(path, "rb") as handle:
                     digest.update(handle.read())
                 digest.update(b"\x00")
-        _CODE_PIN = digest.hexdigest()
+        # Fork-safe memo: the value is a pure function of the on-disk
+        # sources, so parent and worker always compute the same pin; a
+        # worker's write landing in its CoW copy only costs that
+        # worker a recompute, never a divergent key.
+        _CODE_PIN = digest.hexdigest()  # reprolint: disable=REP009 -- idempotent process-local memo
     return _CODE_PIN
 
 

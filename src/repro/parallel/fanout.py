@@ -196,7 +196,11 @@ def ordered_fanout(
         return results_serial
 
     context = multiprocessing.get_context("fork")
-    _ACTIVE_TASKS = tasks
+    # Fork-safe by construction: the parent publishes the task list
+    # *before* forking so workers inherit it read-only; a nested
+    # fan-out inside a (daemonic) worker takes the serial path above,
+    # where its write stays process-local and is cleared in finally.
+    _ACTIVE_TASKS = tasks  # reprolint: disable=REP009 -- pre-fork publication point
     # Freeze the parent heap into the permanent GC generation before
     # forking: child collections then skip the inherited objects, which
     # keeps their copy-on-write pages shared instead of being dirtied
@@ -231,7 +235,7 @@ def ordered_fanout(
                 watch.elapsed(),
             )
     finally:
-        _ACTIVE_TASKS = None
+        _ACTIVE_TASKS = None  # reprolint: disable=REP009 -- clears the pre-fork publication
         gc.unfreeze()
     results: List[Any] = [None] * len(tasks)
     for index, value, _, _, _ in tagged:

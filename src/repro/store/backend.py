@@ -38,6 +38,24 @@ from typing import (
 STORE_FORMAT = "repro-sighting-store"
 STORE_VERSION = 1
 
+#: Column tuples of every store table, in CREATE TABLE order.  This is
+#: the schema contract between the SQL below, the row NamedTuples
+#: above, and files written by earlier runs: reprolint's REP012 checks
+#: every SQL string in this module against these declarations.
+STORE_SCHEMA_COLUMNS: Dict[str, Tuple[str, ...]] = {
+    "meta": ("key", "value"),
+    "runs": ("run_id", "run_key", "seed", "config_fingerprint", "command"),
+    "bronze": ("seq", "run_id", "feed", "payload", "status", "reason"),
+    "silver": ("seq", "run_id", "feed", "domain", "time"),
+    "gold": ("feed", "domain", "n_sightings", "first_seen", "last_seen"),
+}
+
+#: Fingerprint pinning (STORE_VERSION, STORE_SCHEMA_COLUMNS).  REP012
+#: recomputes this from the declarations above; editing a column tuple
+#: without bumping the version (and re-pinning) fails the lint.
+#: Regenerate with ``python -m repro lint --store-schema-pin``.
+STORE_SCHEMA_PIN = "v1:01f0b9393f24"
+
 
 class StoreError(ValueError):
     """Raised when a store file or payload is invalid or mismatched."""

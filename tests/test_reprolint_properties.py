@@ -1,0 +1,252 @@
+"""Property tests (hypothesis) for reprolint's pragma grammar and graph.
+
+Two surfaces where hand-picked examples are weakest:
+
+* pragma parsing (``config._parse_pragma`` / ``config.scan_pragmas``) --
+  the grammar must accept every spelling the regex admits and reject
+  everything else, and the scan must agree line-by-line with parsing
+  each line in isolation;
+* call-graph construction (``graph.ProjectGraph``) over generated
+  module trees -- import cycles, re-export chains, and aliased imports
+  must never crash or fail to terminate, and resolution must only ever
+  land on functions that exist.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devtools.config import (
+    ALL_RULES,
+    DEFAULT_RULES,
+    FILE_PRAGMA_WINDOW,
+    _parse_pragma,
+    scan_pragmas,
+)
+from repro.devtools.graph import ProjectGraph, module_name_for
+from repro.devtools.summaries import summarize_source
+
+# ---------------------------------------------------------------------------
+# Pragma parsing
+# ---------------------------------------------------------------------------
+
+_rule_code = st.sampled_from(sorted(DEFAULT_RULES))
+_spaces = st.text(alphabet=" ", min_size=0, max_size=2)
+_justification = st.one_of(
+    st.just(""),
+    st.text(
+        alphabet=string.ascii_letters + " ", min_size=1, max_size=20
+    ).map(lambda s: "  -- " + s),
+)
+
+
+@st.composite
+def _pragma_comment(draw):
+    """A syntactically valid pragma and the rule set it should yield."""
+    codes = draw(
+        st.one_of(
+            st.none(),
+            st.lists(_rule_code, min_size=1, max_size=4),
+        )
+    )
+    gap = draw(_spaces)
+    text = f"#{gap}reprolint:{draw(_spaces)}disable"
+    if codes is None:
+        expected = ALL_RULES
+    else:
+        joiner = draw(st.sampled_from([",", ", ", " , "]))
+        text += f"{draw(_spaces)}={draw(_spaces)}" + joiner.join(codes)
+        expected = frozenset(codes)
+    text += draw(_justification)
+    return text, expected
+
+
+class TestPragmaParsing:
+    @given(_pragma_comment())
+    @settings(max_examples=200)
+    def test_valid_pragmas_parse_to_expected_rules(self, case):
+        text, expected = case
+        assert _parse_pragma(text) == expected
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=200)
+    def test_arbitrary_text_never_crashes(self, text):
+        result = _parse_pragma(text)
+        assert result is None or isinstance(result, frozenset)
+
+    @given(st.text(alphabet=string.printable, max_size=60))
+    @settings(max_examples=200)
+    def test_non_pragma_comments_are_ignored(self, text):
+        # Lines that never mention the pragma keyword must parse to None.
+        if "reprolint" in text:
+            return
+        assert _parse_pragma(text) is None
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(),  # pragma line?
+                st.booleans(),  # indented (code line) or comment-only?
+                st.lists(_rule_code, min_size=0, max_size=2),
+            ),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=150)
+    def test_scan_agrees_with_per_line_parse(self, rows):
+        lines = []
+        for is_pragma, indented, codes in rows:
+            if not is_pragma:
+                lines.append("x = 1")
+                continue
+            prefix = "x = 1  " if indented else ""
+            suffix = "=" + ",".join(codes) if codes else ""
+            lines.append(f"{prefix}# reprolint: disable{suffix}")
+        source = "\n".join(lines)
+        index = scan_pragmas(source)
+
+        expected_file_wide = frozenset()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            rules = _parse_pragma(text)
+            if rules is None:
+                assert lineno not in index.by_line
+                continue
+            assert index.by_line[lineno] == rules
+            comment_only = text.lstrip().startswith("#")
+            if comment_only and lineno <= FILE_PRAGMA_WINDOW:
+                expected_file_wide |= rules
+        assert index.file_wide == expected_file_wide
+
+    @given(_rule_code, st.integers(1, 40))
+    @settings(max_examples=100)
+    def test_file_pragma_window_is_sharp(self, code, lineno):
+        source = "\n" * (lineno - 1) + f"# reprolint: disable={code}\n"
+        index = scan_pragmas(source)
+        if lineno <= FILE_PRAGMA_WINDOW:
+            assert code in index.file_wide
+            assert index.is_suppressed(code, lineno + 500)
+        else:
+            assert code not in index.file_wide
+            assert not index.is_suppressed(code, lineno + 500)
+            assert index.is_suppressed(code, lineno)
+
+
+# ---------------------------------------------------------------------------
+# Call-graph construction on generated module trees
+# ---------------------------------------------------------------------------
+
+_MODULES = ["alpha", "beta", "gamma", "delta"]
+_FUNCS = ["f", "g", "h"]
+
+
+@st.composite
+def _module_tree(draw):
+    """Generate package sources with imports, aliases, and re-exports.
+
+    Every module defines a few functions; between modules we draw
+    arbitrary ``import``/``from .. import .. as ..`` edges, which can
+    form cycles, and calls through those edges.  The generator is
+    deliberately unconstrained: the property under test is that graph
+    construction and resolution terminate without crashing on *any*
+    such tree, not that resolution succeeds.
+    """
+    n_modules = draw(st.integers(2, len(_MODULES)))
+    names = _MODULES[:n_modules]
+    sources = {}
+    for mod in names:
+        lines = []
+        for other in names:
+            if other == mod:
+                continue
+            edge = draw(st.sampled_from(["none", "import", "from", "alias"]))
+            if edge == "import":
+                lines.append(f"import repro.pkg.{other}")
+            elif edge == "from":
+                sym = draw(st.sampled_from(_FUNCS))
+                lines.append(f"from repro.pkg.{other} import {sym}")
+            elif edge == "alias":
+                sym = draw(st.sampled_from(_FUNCS))
+                # Re-export under a different name: downstream modules
+                # may import the alias, forming re-export chains.
+                alias = draw(st.sampled_from(["ff", "gg", sym]))
+                lines.append(f"from repro.pkg.{other} import {sym} as {alias}")
+        n_funcs = draw(st.integers(1, len(_FUNCS)))
+        for func in _FUNCS[:n_funcs]:
+            lines.append(f"def {func}():")
+            call = draw(
+                st.sampled_from(
+                    _FUNCS
+                    + [f"repro.pkg.{m}.{f}" for m in names for f in _FUNCS[:1]]
+                    + ["ff", "gg", "unknown_name"]
+                )
+            )
+            lines.append(f"    return {call}()")
+        sources[mod] = "\n".join(lines) + "\n"
+    return sources
+
+
+def _build_graph(sources):
+    summaries = [
+        summarize_source(f"/x/pkg/{mod}.py", text, relpkg=f"pkg/{mod}.py")
+        for mod, text in sources.items()
+    ]
+    return ProjectGraph(summaries), summaries
+
+
+class TestGraphProperties:
+    @given(_module_tree())
+    @settings(max_examples=80, deadline=None)
+    def test_construction_and_resolution_terminate(self, sources):
+        graph, summaries = _build_graph(sources)
+        for summary in summaries:
+            module = module_name_for(summary.path, summary.relpkg)
+            for func in summary.functions:
+                caller = (module, func.qualname)
+                for ref in func.calls:
+                    for target in graph.resolve_call(caller, ref):
+                        # Resolution only lands on functions that exist.
+                        assert target in graph.functions
+                        graph.summary_of(target)
+
+    @given(_module_tree())
+    @settings(max_examples=60, deadline=None)
+    def test_symbol_resolution_survives_import_cycles(self, sources):
+        graph, _ = _build_graph(sources)
+        for module in list(graph.modules):
+            for name in _FUNCS + ["ff", "gg", "nope"]:
+                resolved = graph.resolve_symbol(module, name)
+                assert resolved is None or resolved in graph.functions
+
+    @given(_module_tree())
+    @settings(max_examples=40, deadline=None)
+    def test_reachability_is_closed_and_terminates(self, sources):
+        graph, _ = _build_graph(sources)
+        roots = sorted(graph.functions)[:3]
+        origin = graph.reachable_from(roots)
+        for func, root in origin.items():
+            assert func in graph.functions
+            assert root in roots
+
+    @given(_module_tree())
+    @settings(max_examples=40, deadline=None)
+    def test_unordered_closure_terminates_on_cycles(self, sources):
+        graph, _ = _build_graph(sources)
+        for func in graph.functions:
+            assert graph.returns_unordered(func) in (True, False)
+
+    def test_explicit_two_module_import_cycle(self):
+        sources = {
+            "alpha": "from repro.pkg.beta import g\ndef f():\n    return g()\n",
+            "beta": "from repro.pkg.alpha import f\ndef g():\n    return f()\n",
+        }
+        graph, _ = _build_graph(sources)
+        assert graph.resolve_symbol("repro.pkg.alpha", "g") == ("repro.pkg.beta", "g")
+        assert graph.resolve_symbol("repro.pkg.beta", "f") == ("repro.pkg.alpha", "f")
+
+    def test_self_referential_reexport_terminates(self):
+        # A symbol re-exported from the module itself must not loop.
+        sources = {"alpha": "from repro.pkg.alpha import f as f\n"}
+        graph, _ = _build_graph(sources)
+        assert graph.resolve_symbol("repro.pkg.alpha", "f") is None

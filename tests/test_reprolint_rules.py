@@ -642,6 +642,43 @@ def seed_all_rule_violations(tmp_path):
     (pkg / "rep008.py").write_text(
         "import time\nstarted = time.perf_counter()\n"
     )
+    (tmp_path / "rep009.py").write_text(
+        "from repro.parallel.fanout import ordered_fanout\n"
+        "\n"
+        "COUNT = 0\n"
+        "\n"
+        "def work():\n"
+        "    global COUNT\n"
+        "    COUNT = COUNT + 1\n"
+        "    return COUNT\n"
+        "\n"
+        "def run_all():\n"
+        "    return ordered_fanout([work], jobs=2)\n"
+    )
+    (tmp_path / "rep010.py").write_text(
+        "from random import Random\n"
+        "from repro.parallel.fanout import ordered_fanout\n"
+        "\n"
+        "shared_rng = Random(7)\n"
+        "\n"
+        "def draw():\n"
+        "    return shared_rng.random()\n"
+        "\n"
+        "def run_all():\n"
+        "    return ordered_fanout([draw], jobs=2)\n"
+    )
+    (tmp_path / "rep011.py").write_text(
+        "def helper():\n"
+        "    return {1.5, 2.5}\n"
+        "\n"
+        "def total():\n"
+        "    return sum(helper())\n"
+    )
+    (tmp_path / "rep012.py").write_text(
+        "STORE_VERSION = 1\n"
+        'STORE_SCHEMA_COLUMNS = {"meta": ("key", "value")}\n'
+        'STORE_SCHEMA_PIN = "v1:000000000000"\n'
+    )
 
 
 class TestCli:
