@@ -149,6 +149,7 @@ def _build_pipeline(
 def _cmd_run(args) -> int:
     tracer = _observability_tracer(args)
     store = _sighting_store(args)
+    pipeline = None
     try:
         with obs.activate(tracer):
             pipeline = _build_pipeline(args, store=store)
@@ -162,6 +163,8 @@ def _cmd_run(args) -> int:
         if store is not None:
             _progress(args, f"Sightings landed in {args.store}")
     finally:
+        if pipeline is not None:
+            pipeline.close()
         if store is not None:
             store.close()
     _finish_observability(args, tracer, "run", pipeline.config)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from collections import Counter
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.analysis.context import FeedComparison
@@ -39,13 +40,12 @@ def exclusive_counts(sets: Mapping[str, Set[str]]) -> Dict[str, int]:
     A domain is exclusive when it occurs in exactly one feed
     (Section 4.2.1).
     """
-    occurrences: Dict[str, int] = {}
+    occurrences: Counter[str] = Counter()
     for members in sets.values():
-        for domain in members:
-            occurrences[domain] = occurrences.get(domain, 0) + 1
+        occurrences.update(members)
+    singles = {d for d, count in occurrences.items() if count == 1}
     return {
-        name: sum(1 for d in members if occurrences[d] == 1)
-        for name, members in sets.items()
+        name: len(members & singles) for name, members in sets.items()
     }
 
 
@@ -98,10 +98,9 @@ def exclusivity_summary(
     The paper reports 60% of live and 19% of tagged domains exclusive.
     """
     sets = domain_sets(comparison, kind)
-    occurrences: Dict[str, int] = {}
+    occurrences: Counter[str] = Counter()
     for members in sets.values():
-        for domain in members:
-            occurrences[domain] = occurrences.get(domain, 0) + 1
+        occurrences.update(members)
     total = len(occurrences)
     exclusive = sum(1 for c in occurrences.values() if c == 1)
     return {

@@ -72,9 +72,24 @@ def volume_coverage(
     # Summation in sorted-domain order: float addition is not
     # associative, and the per-feed sets may be assembled in different
     # orders by the batch and streaming paths, which must agree exactly.
+    # Restricting each sum to the set-intersection with the volume map
+    # only drops +0.0 terms, which are IEEE no-ops on a non-negative
+    # running sum, so the result is bit-identical to summing
+    # ``volumes.get(d, 0.0)`` over the whole sorted set -- while the
+    # intersection and the lookup loop both run in C.
     for name in names:
-        covered = sum(volumes.get(d, 0.0) for d in sorted(feed_sets[name]))
-        benign = sum(volumes.get(d, 0.0) for d in sorted(benign_sets[name]))
+        covered = sum(
+            map(
+                volumes.__getitem__,
+                sorted(feed_sets[name] & volumes.keys()),
+            )
+        )
+        benign = sum(
+            map(
+                volumes.__getitem__,
+                sorted(benign_sets[name] & volumes.keys()),
+            )
+        )
         if total > 0:
             rows.append(
                 VolumeCoverageRow(name, covered / total, benign / total)

@@ -14,7 +14,10 @@ method and lambda recording
   parameter, closed-over, module-level, ``self`` attribute),
 * whether the function returns an unordered collection,
 * ``sum()`` calls whose iterable is another function's return value,
-* and every ``ordered_fanout`` dispatch with its task expressions.
+* and every parallel dispatch with its task expressions: both
+  ``ordered_fanout(tasks)`` (a list of thunks) and worker-pool
+  submissions (``pool.run_batch(fn, ...)`` / ``pool.broadcast(fn, ...)``,
+  where the single callable fans out to forked workers).
 
 The summaries are plain frozen dataclasses of strings and ints: they
 pickle cleanly into the artifact cache and compare structurally, which
@@ -44,7 +47,7 @@ from repro.devtools.rules import (
 
 #: Version of the summary layout; bump to invalidate cached summaries
 #: when the fields or their semantics change.
-SUMMARY_VERSION = 1
+SUMMARY_VERSION = 2
 
 #: Function names whose call result is an independent, freshly derived
 #: RNG stream (or a factory handing one out).
@@ -72,6 +75,12 @@ MUTATING_METHODS = frozenset(
 #: The parallel fan-out boundary: any call to this name (resolved or
 #: literal) dispatches its first argument's callables onto workers.
 FANOUT_NAME = "ordered_fanout"
+
+#: Worker-pool dispatch methods: ``pool.run_batch(fn, payloads)`` and
+#: ``pool.broadcast(fn, payload)`` run their first argument in forked
+#: workers, so the submitted callable is a fan-out root exactly like an
+#: ``ordered_fanout`` task.
+POOL_DISPATCH_METHODS = frozenset({"run_batch", "broadcast"})
 
 #: SQL statements worth summarizing for the store-schema rule.
 _SQL_RE = re.compile(
@@ -673,6 +682,11 @@ class _ScopeAnalyzer(ast.NodeVisitor):
             self.calls.append(ref)
             if ref.name == FANOUT_NAME:
                 self._record_fanout(node)
+            elif (
+                ref.name in POOL_DISPATCH_METHODS
+                and ref.kind in ("method", "self", "attr")
+            ):
+                self._record_pool_dispatch(node)
             if (
                 ref.kind == "method"
                 and ref.name in MUTATING_METHODS
@@ -795,6 +809,38 @@ class _ScopeAnalyzer(ast.NodeVisitor):
                 col=node.col_offset,
                 tasks=tuple(refs),
                 resolved=resolved,
+            )
+        )
+
+    def _record_pool_dispatch(self, node: ast.Call) -> None:
+        """``pool.run_batch(fn, ...)`` / ``pool.broadcast(fn, ...)``.
+
+        The submitted callable runs in forked workers, so it gets the
+        same :class:`FanoutSite` treatment as an ``ordered_fanout``
+        task list; REP009/REP010 then walk its reachable set.
+        """
+        fn_expr: Optional[ast.expr] = node.args[0] if node.args else None
+        if fn_expr is None:
+            for keyword in node.keywords:
+                if keyword.arg == "fn":
+                    fn_expr = keyword.value
+        if fn_expr is None:
+            self.fanouts.append(
+                FanoutSite(
+                    line=node.lineno,
+                    col=node.col_offset,
+                    tasks=(),
+                    resolved=False,
+                )
+            )
+            return
+        ref = self._task_ref(fn_expr)
+        self.fanouts.append(
+            FanoutSite(
+                line=node.lineno,
+                col=node.col_offset,
+                tasks=(ref,),
+                resolved=ref.kind != "unknown",
             )
         )
 

@@ -39,8 +39,11 @@ from repro.feeds.blacklist import BlacklistConfig, BlacklistFeed
 from repro.feeds.hybrid import HybridFeedConfig, HybridFeed
 from repro.feeds.suite import (
     PAPER_FEED_ORDER,
+    clear_pool_state,
     collect_all,
     land_dataset,
+    pool_world,
+    set_pool_state,
     standard_feed_suite,
 )
 
@@ -63,7 +66,10 @@ __all__ = [
     "MxHoneypotConfig",
     "MxHoneypotFeed",
     "PAPER_FEED_ORDER",
+    "clear_pool_state",
     "collect_all",
     "land_dataset",
+    "pool_world",
+    "set_pool_state",
     "standard_feed_suite",
 ]

@@ -60,19 +60,22 @@ class DatasetColumns(NamedTuple):
     def pack(self) -> "PackedColumns":
         """Flatten the columns into two byte blobs.
 
-        Pickling one joined string and one int64 array is close to a
-        memcpy; pickling hundreds of thousands of small string and int
-        objects is not.  Domain names cannot contain the newline
-        separator (they are DNS labels), which :meth:`PackedColumns
-        .unpack` re-checks via column-length agreement.
+        The blob layout is owned by :class:`repro.io.columns
+        .ColumnBlock`: one joined string and one int64 array, which
+        pickle close to a memcpy where hundreds of thousands of small
+        string and int objects do not.  Domain names cannot contain the
+        newline separator (they are DNS labels), which
+        :meth:`PackedColumns.unpack` re-checks via column-length
+        agreement.
         """
+        packed = ColumnBlock(list(self.domains), array("q", self.times)).pack()
         return PackedColumns(
             name=self.name,
             feed_type=self.feed_type,
             has_volume=self.has_volume,
-            n_records=len(self.domains),
-            domain_blob="\n".join(self.domains).encode("utf-8"),
-            time_blob=array("q", self.times).tobytes(),
+            n_records=packed.n_records,
+            domain_blob=packed.domain_blob,
+            time_blob=packed.time_blob,
         )
 
 
@@ -88,24 +91,15 @@ class PackedColumns(NamedTuple):
 
     def unpack(self) -> DatasetColumns:
         """Restore the columnar form; raises on any length mismatch."""
-        domains = (
-            self.domain_blob.decode("utf-8").split("\n")
-            if self.domain_blob
-            else []
-        )
-        times = array("q")
-        times.frombytes(self.time_blob)
-        if len(domains) != self.n_records or len(times) != self.n_records:
-            raise ValueError(
-                "packed columns do not round-trip to "
-                f"{self.n_records} records"
-            )
+        block = PackedBlock(
+            self.n_records, self.domain_blob, self.time_blob
+        ).unpack()
         return DatasetColumns(
             name=self.name,
             feed_type=self.feed_type,
             has_volume=self.has_volume,
-            domains=domains,
-            times=list(times),
+            domains=block.domains,
+            times=list(block.times),
         )
 
 
@@ -264,6 +258,10 @@ class FeedDataset:
             times=[r.time for r in self.records],
         )
 
+    def packed(self) -> PackedColumns:
+        """This dataset blob-packed for process/disk transport."""
+        return self.to_columns().pack()
+
     def __len__(self) -> int:
         return len(self.records)
 
@@ -275,26 +273,90 @@ class FeedDataset:
         )
 
 
+# Imported below FeedDataset rather than at the top: repro.io's package
+# init pulls in serialization, which imports FeedDataset/FeedRecord/
+# FeedType back from this module, so those names must already exist
+# when the import cycle re-enters here.
+from repro.io.columns import (  # noqa: E402
+    ColumnBlock,
+    ColumnBuilder,
+    PackedBlock,
+)
+
+
 class ColumnarFeedDataset(FeedDataset):
-    """A :class:`FeedDataset` backed by columns instead of record tuples.
+    """A :class:`FeedDataset` backed by a :class:`ColumnBlock`.
 
     Serves the whole :class:`FeedStats` surface straight from the two
     flat columns -- the per-record ``FeedRecord`` list is materialized
     lazily, only if a consumer (streaming merge, CSV export) actually
-    asks for ``.records``.  Statistics are computed by iterating the
-    columns in record order, so every derived value -- sets, counts,
-    first/last sightings and their dict insertion orders -- is
-    identical to the record-backed path.
+    asks for ``.records``.  Statistics come from the array-at-a-time
+    kernels in :mod:`repro.io.columns`, which reproduce every derived
+    value of the record-backed path exactly -- sets, counts, first/last
+    sightings *and their dict insertion orders* (first-appearance
+    order), which downstream iteration orders depend on.
     """
 
-    def __init__(self, columns: DatasetColumns):
-        if len(columns.domains) != len(columns.times):
-            raise ValueError("domain and time columns differ in length")
-        self.name = columns.name
-        self.feed_type = FeedType(columns.feed_type)
-        self.has_volume = columns.has_volume
-        self._domains = columns.domains
-        self._times = columns.times
+    def __init__(
+        self,
+        columns: DatasetColumns,
+        chronological: Optional[bool] = None,
+    ):
+        domains = (
+            columns.domains
+            if isinstance(columns.domains, list)
+            else list(columns.domains)
+        )
+        times = (
+            columns.times
+            if isinstance(columns.times, array)
+            else array("q", columns.times)
+        )
+        self._init_from_block(
+            columns.name,
+            FeedType(columns.feed_type),
+            columns.has_volume,
+            ColumnBlock(domains, times, chronological),
+        )
+
+    @classmethod
+    def from_block(
+        cls,
+        name: str,
+        feed_type: FeedType,
+        has_volume: bool,
+        block: ColumnBlock,
+    ) -> "ColumnarFeedDataset":
+        """Wrap an existing block without copying its columns."""
+        self = cls.__new__(cls)
+        self._init_from_block(name, feed_type, has_volume, block)
+        return self
+
+    @classmethod
+    def from_packed(cls, packed: "PackedColumns") -> "ColumnarFeedDataset":
+        """Unpack straight into a block (no intermediate list column)."""
+        return cls.from_block(
+            packed.name,
+            FeedType(packed.feed_type),
+            packed.has_volume,
+            PackedBlock(
+                packed.n_records, packed.domain_blob, packed.time_blob
+            ).unpack(),
+        )
+
+    def _init_from_block(
+        self,
+        name: str,
+        feed_type: FeedType,
+        has_volume: bool,
+        block: ColumnBlock,
+    ) -> None:
+        self.name = name
+        self.feed_type = feed_type
+        self.has_volume = has_volume
+        self._block = block
+        self._domains = block.domains
+        self._times = block.times
         self._materialized: Optional[List[FeedRecord]] = None
         self._chronological: Optional[List[FeedRecord]] = None
         self._unique: Optional[Set[str]] = None
@@ -306,10 +368,9 @@ class ColumnarFeedDataset(FeedDataset):
     def records(self) -> List[FeedRecord]:
         """Materialized record list (built on first access, then cached)."""
         if self._materialized is None:
-            self._materialized = [
-                FeedRecord(d, t)
-                for d, t in zip(self._domains, self._times)
-            ]
+            self._materialized = list(
+                map(FeedRecord, self._domains, self._times)
+            )
         return self._materialized
 
     @property
@@ -318,36 +379,38 @@ class ColumnarFeedDataset(FeedDataset):
 
     def unique_domains(self) -> Set[str]:
         if self._unique is None:
-            self._unique = set(self._domains)
+            self._unique = self._block.unique_domains()
         return self._unique
 
     def domain_counts(self) -> EmpiricalDistribution:
         if self._counts is None:
-            counts: Dict[str, float] = {}
-            for domain in self._domains:
-                counts[domain] = counts.get(domain, 0.0) + 1.0
-            self._counts = EmpiricalDistribution(counts)
+            self._counts = EmpiricalDistribution(self._block.value_counts())
         return self._counts
 
     def first_seen(self) -> Dict[str, SimTime]:
         if self._first_seen is None:
-            first: Dict[str, SimTime] = {}
-            for domain, t in zip(self._domains, self._times):
-                prev = first.get(domain)
-                if prev is None or t < prev:
-                    first[domain] = t
-            self._first_seen = first
+            self._first_seen, self._last_seen = self._block.first_last_seen()
         return self._first_seen
 
     def last_seen(self) -> Dict[str, SimTime]:
         if self._last_seen is None:
-            last: Dict[str, SimTime] = {}
-            for domain, t in zip(self._domains, self._times):
-                prev = last.get(domain)
-                if prev is None or t > prev:
-                    last[domain] = t
-            self._last_seen = last
+            self._first_seen, self._last_seen = self._block.first_last_seen()
         return self._last_seen
+
+    def chronological_records(self) -> List[FeedRecord]:
+        """See :meth:`FeedDataset.chronological_records`.
+
+        The sortedness test runs on the time column (one C pass)
+        instead of scanning materialized record tuples.
+        """
+        if self._chronological is None:
+            if self._block.is_chronological():
+                self._chronological = self.records
+            else:
+                self._chronological = sorted(
+                    self.records, key=lambda r: r.time
+                )
+        return self._chronological
 
     def to_columns(self) -> DatasetColumns:
         return DatasetColumns(
@@ -355,7 +418,19 @@ class ColumnarFeedDataset(FeedDataset):
             feed_type=self.feed_type.value,
             has_volume=self.has_volume,
             domains=self._domains,
-            times=self._times,
+            times=list(self._times),
+        )
+
+    def packed(self) -> PackedColumns:
+        """Blob-packed transport form, straight from the block."""
+        packed = self._block.pack()
+        return PackedColumns(
+            name=self.name,
+            feed_type=self.feed_type.value,
+            has_volume=self.has_volume,
+            n_records=packed.n_records,
+            domain_blob=packed.domain_blob,
+            time_blob=packed.time_blob,
         )
 
     def __len__(self) -> int:
@@ -384,6 +459,23 @@ class FeedCollector(abc.ABC):
             feed_type=self.feed_type,
             records=kept,
             has_volume=self.has_volume,
+        )
+
+    def _finalize_columns(
+        self, world: World, builder: ColumnBuilder
+    ) -> ColumnarFeedDataset:
+        """Columnar :meth:`_finalize`: window-clamp and time-sort.
+
+        Same semantics (drop outside [start, end), stable sort by
+        time), executed as two array-at-a-time kernels instead of a
+        per-record filter and a tuple sort, and the result stays
+        column-backed -- no ``FeedRecord`` is ever allocated unless a
+        consumer materializes ``.records``.
+        """
+        tl = world.timeline
+        block = builder.build().window(tl.start, tl.end).sorted_by_time()
+        return ColumnarFeedDataset.from_block(
+            self.name, self.feed_type, self.has_volume, block
         )
 
     def __repr__(self) -> str:

@@ -23,12 +23,13 @@ from __future__ import annotations
 import dataclasses
 import math
 import random
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.ecosystem.entities import AddressStrategy
 from repro.ecosystem.world import World
-from repro.feeds.base import FeedCollector, FeedDataset, FeedRecord, FeedType
+from repro.feeds.base import FeedCollector, FeedDataset, FeedType
 from repro.feeds.capture import delivered_placement_volume
+from repro.io.columns import ColumnBuilder
 from repro.stats.rng import derive_rng
 
 #: How visible each address strategy is to broad (honeypot-like) sensors.
@@ -110,7 +111,7 @@ class BlacklistFeed(FeedCollector):
         for domain, entries in world.placements_by_domain().items():
             first_advertised[domain] = min(p.start for _, p in entries)
 
-        records: List[FeedRecord] = []
+        builder = ColumnBuilder()
         for domain in sorted(first_advertised):
             # Professional maintenance: never list names that do not
             # resolve (this keeps the DGA flood and junk out entirely).
@@ -121,29 +122,27 @@ class BlacklistFeed(FeedCollector):
             if rng.random() >= probability:
                 continue
             latency = rng.expovariate(1.0 / cfg.latency_mean_minutes)
-            records.append(
-                FeedRecord(domain, first_advertised[domain] + int(latency))
-            )
+            builder.append(domain, first_advertised[domain] + int(latency))
 
-        records.extend(self._benign_false_positives(world))
-        return self._finalize(world, records)
+        self._benign_false_positives(world, builder)
+        return self._finalize_columns(world, builder)
 
     def _evidence_cache(self, world: World) -> Dict[str, float]:
         if self._evidence is None:
             self._evidence = self._domain_evidence(world)
         return self._evidence
 
-    def _benign_false_positives(self, world: World) -> List[FeedRecord]:
+    def _benign_false_positives(
+        self, world: World, builder: ColumnBuilder
+    ) -> None:
         """The occasional mistaken listing of an ordinary benign site."""
         cfg = self.config
         if cfg.benign_fp_domains <= 0:
-            return []
+            return
         rng = self._rng("benign-fp")
         pool = sorted(world.benign.odp_domains | world.benign.alexa_set)
         n = min(cfg.benign_fp_domains, len(pool))
         chosen = rng.sample(pool, n)
         tl = world.timeline
-        return [
-            FeedRecord(domain, rng.randrange(tl.start, tl.end))
-            for domain in chosen
-        ]
+        for domain in chosen:
+            builder.append(domain, rng.randrange(tl.start, tl.end))

@@ -12,11 +12,11 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import List
 
 from repro.ecosystem.world import World
-from repro.feeds.base import FeedCollector, FeedDataset, FeedRecord, FeedType
-from repro.feeds.capture import capture_campaign
+from repro.feeds.base import FeedCollector, FeedDataset, FeedType
+from repro.feeds.capture import capture_campaign_into
+from repro.io.columns import ColumnBuilder
 from repro.stats.rng import derive_rng
 
 
@@ -63,7 +63,7 @@ class BotnetFeed(FeedCollector):
         """Record the output of every monitored botnet's campaigns."""
         cfg = self.config
         monitored = world.monitored_botnet_ids()
-        records: List[FeedRecord] = []
+        builder = ColumnBuilder()
         rng_capture = self._rng("capture")
 
         for campaign in world.campaigns:
@@ -73,16 +73,15 @@ class BotnetFeed(FeedCollector):
                 exposure = cfg.monitor_fraction * cfg.dga_monitor_factor
             else:
                 exposure = cfg.monitor_fraction
-            records.extend(
-                capture_campaign(
-                    rng_capture,
-                    campaign,
-                    exposure,
-                    chaff_sampler=world.benign.sample_chaff,
-                    chaff_probability=(
-                        campaign.chaff_probability * cfg.chaff_factor
-                    ),
-                    respect_broadcast_lag=True,
-                )
+            capture_campaign_into(
+                builder,
+                rng_capture,
+                campaign,
+                exposure,
+                chaff_sampler=world.benign.sample_chaff,
+                chaff_probability=(
+                    campaign.chaff_probability * cfg.chaff_factor
+                ),
+                respect_broadcast_lag=True,
             )
-        return self._finalize(world, records)
+        return self._finalize_columns(world, builder)

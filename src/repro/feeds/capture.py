@@ -22,6 +22,7 @@ from repro import obs
 from repro.ecosystem.entities import AddressStrategy, Campaign, DomainPlacement
 from repro.ecosystem.world import World
 from repro.feeds.base import FeedRecord
+from repro.io.columns import ColumnBuilder
 from repro.simtime import SimTime
 
 #: Safety cap on records drawn for a single placement, to bound memory
@@ -60,15 +61,20 @@ def poisson(rng: random.Random, lam: float) -> int:
     return k
 
 
-def scatter_records(
+def scatter_times(
     rng: random.Random,
-    domain: str,
     n: int,
     start: SimTime,
     end: SimTime,
     delay: Optional[Callable[[random.Random], float]] = None,
-) -> List[FeedRecord]:
-    """Create *n* sighting records uniformly over [start, end).
+) -> List[SimTime]:
+    """Draw *n* sighting times uniformly over [start, end).
+
+    The columnar capture hot path: a burst of sightings of one domain
+    is fully described by its time column, so no per-record tuple is
+    ever allocated.  The RNG draw order is one uniform draw per record
+    (plus one delay draw when *delay* is given), identical to the
+    historical record-at-a-time path.
 
     *delay* optionally adds per-record observation latency in minutes
     (e.g. human report delay); the resulting time may fall outside the
@@ -77,25 +83,42 @@ def scatter_records(
     if n <= 0:
         return []
     span = max(1, end - start)
-    records: List[FeedRecord] = []
+    if delay is None:
+        rand = rng.random
+        return [start + int(rand() * span) for _ in range(n)]
+    times: List[SimTime] = []
     for _ in range(n):
         t = start + int(rng.random() * span)
-        if delay is not None:
-            t += int(delay(rng))
-        records.append(FeedRecord(domain, t))
-    return records
+        times.append(t + int(delay(rng)))
+    return times
 
 
-def capture_placement(
+def scatter_records(
+    rng: random.Random,
+    domain: str,
+    n: int,
+    start: SimTime,
+    end: SimTime,
+    delay: Optional[Callable[[random.Random], float]] = None,
+) -> List[FeedRecord]:
+    """Record-tuple view of :func:`scatter_times` (same draws)."""
+    return [
+        FeedRecord(domain, t)
+        for t in scatter_times(rng, n, start, end, delay)
+    ]
+
+
+def capture_placement_times(
     rng: random.Random,
     placement: DomainPlacement,
     exposure: float,
     delay: Optional[Callable[[random.Random], float]] = None,
     cap: Optional[int] = None,
     not_before: Optional[SimTime] = None,
-) -> List[FeedRecord]:
+) -> List[SimTime]:
     """Capture one placement at the given *exposure* fraction.
 
+    Returns the sighting-time column (the domain is the placement's);
     *not_before* truncates the feed's observation window: a small
     apparatus sits at one position in the spammer's address-list
     traversal and starts receiving a campaign's messages only once the
@@ -120,9 +143,72 @@ def capture_placement(
         obs.add("feeds.truncated_records", n - effective_cap)
         obs.add("feeds.truncated_placements")
         n = effective_cap
-    return scatter_records(
-        rng, placement.domain, n, start, placement.end, delay
-    )
+    return scatter_times(rng, n, start, placement.end, delay)
+
+
+def capture_placement(
+    rng: random.Random,
+    placement: DomainPlacement,
+    exposure: float,
+    delay: Optional[Callable[[random.Random], float]] = None,
+    cap: Optional[int] = None,
+    not_before: Optional[SimTime] = None,
+) -> List[FeedRecord]:
+    """Record-tuple view of :func:`capture_placement_times`."""
+    return [
+        FeedRecord(placement.domain, t)
+        for t in capture_placement_times(
+            rng, placement, exposure, delay, cap, not_before
+        )
+    ]
+
+
+def capture_campaign_into(
+    builder: ColumnBuilder,
+    rng: random.Random,
+    campaign: Campaign,
+    exposure: float,
+    delay: Optional[Callable[[random.Random], float]] = None,
+    chaff_sampler: Optional[Callable[[random.Random], str]] = None,
+    chaff_probability: float = 0.0,
+    onset_max_fraction: float = 0.0,
+    respect_broadcast_lag: bool = False,
+) -> None:
+    """Capture all placements of *campaign* into a column builder.
+
+    Each placement contributes one domain burst (a single list repeat
+    plus one array extend, no per-record tuples).  When *chaff_sampler*
+    is given, every captured message also reports a co-occurring benign
+    domain with probability *chaff_probability* (feeds that report all
+    URLs in a message pick up image hosts, DTD references and
+    deliberately-inserted legitimate links); chaff sightings follow
+    their placement's burst, exactly as the record-at-a-time path
+    appended them.
+
+    With *respect_broadcast_lag* the feed only observes each placement
+    from its ``broadcast_start``: honeypot-type apparatus sees a domain
+    once the broad blast begins, days after the domain's first quiet
+    appearance in real mail (Figure 9).  *onset_max_fraction* adds the
+    apparatus's own per-placement list-traversal jitter on top.
+    """
+    for placement in campaign.placements:
+        not_before: Optional[SimTime] = None
+        if respect_broadcast_lag:
+            not_before = placement.broadcast_start
+        if onset_max_fraction > 0:
+            base = not_before if not_before is not None else placement.start
+            remaining = max(0, placement.end - base)
+            not_before = base + int(
+                rng.random() * onset_max_fraction * remaining
+            )
+        times = capture_placement_times(
+            rng, placement, exposure, delay, not_before=not_before
+        )
+        builder.extend_burst(placement.domain, times)
+        if chaff_sampler is not None and chaff_probability > 0:
+            for t in times:
+                if rng.random() < chaff_probability:
+                    builder.append(chaff_sampler(rng), t)
 
 
 def capture_campaign(
@@ -135,41 +221,23 @@ def capture_campaign(
     onset_max_fraction: float = 0.0,
     respect_broadcast_lag: bool = False,
 ) -> List[FeedRecord]:
-    """Capture all placements of *campaign*; optionally add chaff.
-
-    When *chaff_sampler* is given, every captured message also reports a
-    co-occurring benign domain with probability *chaff_probability*
-    (feeds that report all URLs in a message pick up image hosts, DTD
-    references and deliberately-inserted legitimate links).
-
-    With *respect_broadcast_lag* the feed only observes each placement
-    from its ``broadcast_start``: honeypot-type apparatus sees a domain
-    once the broad blast begins, days after the domain's first quiet
-    appearance in real mail (Figure 9).  *onset_max_fraction* adds the
-    apparatus's own per-placement list-traversal jitter on top.
-    """
-    records: List[FeedRecord] = []
-    for placement in campaign.placements:
-        not_before: Optional[SimTime] = None
-        if respect_broadcast_lag:
-            not_before = placement.broadcast_start
-        if onset_max_fraction > 0:
-            base = not_before if not_before is not None else placement.start
-            remaining = max(0, placement.end - base)
-            not_before = base + int(
-                rng.random() * onset_max_fraction * remaining
-            )
-        captured = capture_placement(
-            rng, placement, exposure, delay, not_before=not_before
-        )
-        records.extend(captured)
-        if chaff_sampler is not None and chaff_probability > 0:
-            for record in captured:
-                if rng.random() < chaff_probability:
-                    records.append(
-                        FeedRecord(chaff_sampler(rng), record.time)
-                    )
-    return records
+    """Record-tuple view of :func:`capture_campaign_into` (same draws)."""
+    builder = ColumnBuilder()
+    capture_campaign_into(
+        builder,
+        rng,
+        campaign,
+        exposure,
+        delay,
+        chaff_sampler,
+        chaff_probability,
+        onset_max_fraction,
+        respect_broadcast_lag,
+    )
+    block = builder.build()
+    return [
+        FeedRecord(d, t) for d, t in zip(block.domains, block.times)
+    ]
 
 
 def campaign_inclusion(

@@ -12,17 +12,17 @@ from __future__ import annotations
 import dataclasses
 import math
 import random
-from typing import List
 
 from repro.ecosystem.entities import AddressStrategy, CampaignClass
 from repro.ecosystem.world import World
-from repro.feeds.base import FeedCollector, FeedDataset, FeedRecord, FeedType
+from repro.feeds.base import FeedCollector, FeedDataset, FeedType
 from repro.feeds.capture import (
     campaign_inclusion,
-    capture_campaign,
+    capture_campaign_into,
     poisson,
-    scatter_records,
+    scatter_times,
 )
+from repro.io.columns import ColumnBuilder
 from repro.stats.rng import derive_rng
 
 
@@ -93,7 +93,7 @@ class HoneyAccountFeed(FeedCollector):
     def collect(self, world: World) -> FeedDataset:
         """Capture the harvest/brute-force slice of the world."""
         cfg = self.config
-        records: List[FeedRecord] = []
+        builder = ColumnBuilder()
         rng_inclusion = self._rng("inclusion")
         rng_capture = self._rng("capture")
 
@@ -111,36 +111,35 @@ class HoneyAccountFeed(FeedCollector):
                 catch *= math.exp(
                     rng_capture.gauss(0.0, cfg.catch_jitter_sigma)
                 )
-            records.extend(
-                capture_campaign(
-                    rng_capture,
-                    campaign,
-                    catch,
-                    chaff_sampler=world.benign.sample_chaff,
-                    chaff_probability=(
-                        campaign.chaff_probability * cfg.chaff_factor
-                    ),
-                    onset_max_fraction=cfg.onset_max_fraction,
-                    respect_broadcast_lag=True,
-                )
+            capture_campaign_into(
+                builder,
+                rng_capture,
+                campaign,
+                catch,
+                chaff_sampler=world.benign.sample_chaff,
+                chaff_probability=(
+                    campaign.chaff_probability * cfg.chaff_factor
+                ),
+                onset_max_fraction=cfg.onset_max_fraction,
+                respect_broadcast_lag=True,
             )
 
-        records.extend(self._benign_leakage(world))
-        return self._finalize(world, records)
+        self._benign_leakage(world, builder)
+        return self._finalize_columns(world, builder)
 
-    def _benign_leakage(self, world: World) -> List[FeedRecord]:
+    def _benign_leakage(self, world: World, builder: ColumnBuilder) -> None:
         """Username typos and list cross-contamination."""
         cfg = self.config
         rng = self._rng("benign-fp")
         pool = world.benign.alexa_ranked + world.benign.newsletter_domains
         if not pool or cfg.benign_fp_domains <= 0:
-            return []
+            return
         n_domains = min(cfg.benign_fp_domains, len(pool))
         chosen = rng.sample(pool, n_domains)
-        records: List[FeedRecord] = []
         tl = world.timeline
         per_domain = cfg.benign_fp_volume / n_domains
         for domain in chosen:
             n = max(1, poisson(rng, per_domain))
-            records.extend(scatter_records(rng, domain, n, tl.start, tl.end))
-        return records
+            builder.extend_burst(
+                domain, scatter_times(rng, n, tl.start, tl.end)
+            )

@@ -23,16 +23,17 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Dict, List
+from typing import Dict
 
 from repro.ecosystem.entities import Campaign, CampaignClass
 from repro.ecosystem.world import World
-from repro.feeds.base import FeedCollector, FeedDataset, FeedRecord, FeedType
+from repro.feeds.base import FeedCollector, FeedDataset, FeedType
 from repro.feeds.capture import (
     REAL_USER_REACH,
     poisson,
-    scatter_records,
+    scatter_times,
 )
+from repro.io.columns import ColumnBuilder
 from repro.stats.rng import derive_rng
 
 
@@ -108,7 +109,7 @@ class HumanIdentifiedFeed(FeedCollector):
     def collect(self, world: World) -> FeedDataset:
         """Gather user reports with suppression and human delay."""
         cfg = self.config
-        records: List[FeedRecord] = []
+        builder = ColumnBuilder()
         rng_capture = self._rng("capture")
         rng_caps = self._rng("caps")
         caps: Dict[str, int] = {}
@@ -119,26 +120,26 @@ class HumanIdentifiedFeed(FeedCollector):
                 # of it, and users who do see it have nothing to click.
                 # A trickle still gets reported.
                 self._capture_campaign(
-                    world, campaign, 0.000_5, records, rng_capture,
+                    world, campaign, 0.000_5, builder, rng_capture,
                     rng_caps, caps,
                 )
                 continue
             exposure = cfg.provider_share * cfg.report_rate
             self._capture_campaign(
-                world, campaign, exposure, records, rng_capture, rng_caps,
+                world, campaign, exposure, builder, rng_capture, rng_caps,
                 caps,
             )
 
-        records.extend(self._junk_reports(world))
-        records.extend(self._newsletter_reports(world))
-        return self._finalize(world, records)
+        self._junk_reports(world, builder)
+        self._newsletter_reports(world, builder)
+        return self._finalize_columns(world, builder)
 
     def _capture_campaign(
         self,
         world: World,
         campaign: Campaign,
         exposure: float,
-        records: List[FeedRecord],
+        builder: ColumnBuilder,
         rng: random.Random,
         rng_caps: random.Random,
         caps: Dict[str, int],
@@ -159,50 +160,49 @@ class HumanIdentifiedFeed(FeedCollector):
                 continue
             n = min(n, budget)
             caps[placement.domain] = budget - n
-            captured = scatter_records(
+            times = scatter_times(
                 rng,
-                placement.domain,
                 n,
                 placement.start,
                 placement.end,
                 delay=self._report_delay,
             )
-            records.extend(captured)
-            for record in captured:
+            builder.extend_burst(placement.domain, times)
+            for t in times:
                 if rng.random() < campaign.chaff_probability * cfg.chaff_factor:
-                    records.append(
-                        FeedRecord(world.benign.sample_chaff(rng), record.time)
-                    )
+                    builder.append(world.benign.sample_chaff(rng), t)
 
-    def _junk_reports(self, world: World) -> List[FeedRecord]:
+    def _junk_reports(self, world: World, builder: ColumnBuilder) -> None:
         """Junk strings users submit that were never real domains."""
         cfg = self.config
         rng = self._rng("junk")
         pool = world.junk_domains
         if not pool or cfg.junk_domains <= 0:
-            return []
+            return
         n_domains = min(cfg.junk_domains, len(pool))
         chosen = rng.sample(pool, n_domains)
         tl = world.timeline
-        records: List[FeedRecord] = []
         for domain in chosen:
             n = 1 + poisson(rng, 0.3)
-            records.extend(scatter_records(rng, domain, n, tl.start, tl.end))
-        return records
+            builder.extend_burst(
+                domain, scatter_times(rng, n, tl.start, tl.end)
+            )
 
-    def _newsletter_reports(self, world: World) -> List[FeedRecord]:
+    def _newsletter_reports(
+        self, world: World, builder: ColumnBuilder
+    ) -> None:
         """Legitimate commercial mail mis-reported as spam."""
         cfg = self.config
         rng = self._rng("newsletters")
         pool = world.benign.newsletter_domains + world.benign.alexa_ranked[:500]
         if not pool or cfg.newsletter_fp_domains <= 0:
-            return []
+            return
         n_domains = min(cfg.newsletter_fp_domains, len(pool))
         chosen = rng.sample(pool, n_domains)
         tl = world.timeline
         per_domain = cfg.newsletter_fp_volume / n_domains
-        records: List[FeedRecord] = []
         for domain in chosen:
             n = max(1, poisson(rng, per_domain))
-            records.extend(scatter_records(rng, domain, n, tl.start, tl.end))
-        return records
+            builder.extend_burst(
+                domain, scatter_times(rng, n, tl.start, tl.end)
+            )

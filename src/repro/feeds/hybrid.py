@@ -18,12 +18,12 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import List
 
 from repro.ecosystem.entities import CampaignClass
 from repro.ecosystem.world import World
-from repro.feeds.base import FeedCollector, FeedDataset, FeedRecord, FeedType
-from repro.feeds.capture import exponential_delay, poisson, scatter_records
+from repro.feeds.base import FeedCollector, FeedDataset, FeedType
+from repro.feeds.capture import exponential_delay, poisson, scatter_times
+from repro.io.columns import ColumnBuilder
 from repro.stats.rng import derive_rng
 
 
@@ -87,16 +87,16 @@ class HybridFeed(FeedCollector):
 
     def collect(self, world: World) -> FeedDataset:
         """Combine the email and web-spam components."""
-        records = self._email_component(world)
-        records.extend(self._webspam_component(world))
-        return self._finalize(world, records)
+        builder = ColumnBuilder()
+        self._email_component(world, builder)
+        self._webspam_component(world, builder)
+        return self._finalize_columns(world, builder)
 
-    def _email_component(self, world: World) -> List[FeedRecord]:
+    def _email_component(self, world: World, builder: ColumnBuilder) -> None:
         cfg = self.config
         rng_inclusion = self._rng("inclusion")
         rng_capture = self._rng("capture")
         delay = exponential_delay(cfg.delay_mean_minutes)
-        records: List[FeedRecord] = []
         for campaign in world.campaigns:
             if campaign.campaign_class is CampaignClass.DGA_POISON:
                 continue
@@ -109,39 +109,38 @@ class HybridFeed(FeedCollector):
                 if n <= 0:
                     # Inclusion means the source saw it at least once.
                     n = 1
-                captured = scatter_records(
+                times = scatter_times(
                     rng_capture,
-                    placement.domain,
                     n,
                     placement.start,
                     placement.end,
                     delay=delay,
                 )
-                records.extend(captured)
+                builder.extend_burst(placement.domain, times)
                 chaff_p = campaign.chaff_probability * cfg.chaff_factor
-                for record in captured:
+                for t in times:
                     if rng_capture.random() < chaff_p:
-                        records.append(
-                            FeedRecord(
-                                world.benign.sample_chaff(rng_capture),
-                                record.time,
-                            )
+                        builder.append(
+                            world.benign.sample_chaff(rng_capture), t
                         )
-        return records
 
-    def _webspam_component(self, world: World) -> List[FeedRecord]:
+    def _webspam_component(
+        self, world: World, builder: ColumnBuilder
+    ) -> None:
         cfg = self.config
         rng = self._rng("webspam")
         tl = world.timeline
-        records: List[FeedRecord] = []
         for domain in world.hyb_webspam:
             n = max(1, poisson(rng, cfg.webspam_records_mean))
-            records.extend(scatter_records(rng, domain, n, tl.start, tl.end))
+            builder.extend_burst(
+                domain, scatter_times(rng, n, tl.start, tl.end)
+            )
         # Scrapers also sweep up plenty of ordinary benign sites, which
         # is why the paper finds ~10-12% of Hyb on the Alexa/ODP lists.
         pool = sorted(world.benign.alexa_set | world.benign.odp_domains)
         n_benign = min(cfg.webspam_benign_domains, len(pool))
         for domain in rng.sample(pool, n_benign):
             n = max(1, poisson(rng, cfg.webspam_benign_records_mean))
-            records.extend(scatter_records(rng, domain, n, tl.start, tl.end))
-        return records
+            builder.extend_burst(
+                domain, scatter_times(rng, n, tl.start, tl.end)
+            )

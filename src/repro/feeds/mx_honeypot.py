@@ -13,17 +13,17 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import List
 
 from repro.ecosystem.entities import AddressStrategy, CampaignClass
 from repro.ecosystem.world import World
-from repro.feeds.base import FeedCollector, FeedDataset, FeedRecord, FeedType
+from repro.feeds.base import FeedCollector, FeedDataset, FeedType
 from repro.feeds.capture import (
     campaign_inclusion,
-    capture_campaign,
+    capture_campaign_into,
     poisson,
-    scatter_records,
+    scatter_times,
 )
+from repro.io.columns import ColumnBuilder
 from repro.stats.rng import derive_rng
 
 
@@ -87,7 +87,7 @@ class MxHoneypotFeed(FeedCollector):
     def collect(self, world: World) -> FeedDataset:
         """Capture the brute-force-addressed slice of the world."""
         cfg = self.config
-        records: List[FeedRecord] = []
+        builder = ColumnBuilder()
         rng_inclusion = self._rng("inclusion")
         rng_capture = self._rng("capture")
 
@@ -101,46 +101,41 @@ class MxHoneypotFeed(FeedCollector):
             if campaign.campaign_class is CampaignClass.DGA_POISON:
                 if not cfg.sees_dga:
                     continue
-                records.extend(
-                    capture_campaign(
-                        rng_capture, campaign, cfg.dga_catch_rate
-                    )
+                capture_campaign_into(
+                    builder, rng_capture, campaign, cfg.dga_catch_rate
                 )
                 continue
             if not campaign_inclusion(rng_inclusion, inclusion):
                 continue
-            records.extend(
-                capture_campaign(
-                    rng_capture,
-                    campaign,
-                    cfg.catch_rate,
-                    chaff_sampler=world.benign.sample_chaff,
-                    chaff_probability=(
-                        campaign.chaff_probability * cfg.chaff_factor
-                    ),
-                    onset_max_fraction=cfg.onset_max_fraction,
-                    respect_broadcast_lag=True,
-                )
+            capture_campaign_into(
+                builder,
+                rng_capture,
+                campaign,
+                cfg.catch_rate,
+                chaff_sampler=world.benign.sample_chaff,
+                chaff_probability=(
+                    campaign.chaff_probability * cfg.chaff_factor
+                ),
+                onset_max_fraction=cfg.onset_max_fraction,
+                respect_broadcast_lag=True,
             )
 
-        records.extend(self._benign_leakage(world))
-        return self._finalize(world, records)
+        self._benign_leakage(world, builder)
+        return self._finalize_columns(world, builder)
 
-    def _benign_leakage(self, world: World) -> List[FeedRecord]:
+    def _benign_leakage(self, world: World, builder: ColumnBuilder) -> None:
         """Typo mail and sign-up dummy addresses hitting the honeypot."""
         cfg = self.config
         rng = self._rng("benign-fp")
         pool = world.benign.alexa_ranked + world.benign.newsletter_domains
         if not pool or cfg.benign_fp_domains <= 0:
-            return []
+            return
         n_domains = min(cfg.benign_fp_domains, len(pool))
         chosen = rng.sample(pool, n_domains)
-        records: List[FeedRecord] = []
         tl = world.timeline
         per_domain = cfg.benign_fp_volume / n_domains
         for domain in chosen:
             n = max(1, poisson(rng, per_domain))
-            records.extend(
-                scatter_records(rng, domain, n, tl.start, tl.end)
+            builder.extend_burst(
+                domain, scatter_times(rng, n, tl.start, tl.end)
             )
-        return records

@@ -9,11 +9,16 @@ fractions, listing thresholds -- not per-result fudge factors.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro import obs
 from repro.ecosystem.world import World
-from repro.feeds.base import ColumnarFeedDataset, FeedCollector, FeedDataset
+from repro.feeds.base import (
+    ColumnarFeedDataset,
+    FeedCollector,
+    FeedDataset,
+    PackedColumns,
+)
 from repro.feeds.blacklist import BlacklistConfig, BlacklistFeed
 from repro.feeds.botnet import BotnetFeedConfig, BotnetFeed
 from repro.feeds.honey_account import HoneyAccountConfig, HoneyAccountFeed
@@ -23,6 +28,7 @@ from repro.feeds.mx_honeypot import MxHoneypotConfig, MxHoneypotFeed
 from repro.parallel import fork_available, ordered_fanout, resolve_jobs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel import WorkerPool
     from repro.store.sightings import RunWriter
 
 #: Feed mnemonics in the paper's Table 1 order.
@@ -132,6 +138,46 @@ def standard_feed_suite(seed: int = 2012) -> List[FeedCollector]:
     ]
 
 
+#: The (world, collectors) state persistent-pool collect tasks run
+#: against.  Published immediately before the pool forks so workers
+#: inherit it copy-on-write; tasks index into it and never mutate it.
+_POOL_STATE: Optional[Tuple[World, List[FeedCollector]]] = None
+
+
+def set_pool_state(
+    world: World, collectors: List[FeedCollector]
+) -> None:
+    """Publish the collect state a persistent pool will inherit.
+
+    Must run *before* the :class:`~repro.parallel.pool.WorkerPool` is
+    constructed: pool workers receive only small task descriptors over
+    a pipe, so everything heavy has to already be in the forked image.
+    """
+    global _POOL_STATE
+    _POOL_STATE = (world, collectors)  # reprolint: disable=REP009 -- pre-fork publication point
+
+
+def clear_pool_state() -> None:
+    """Drop the published collect state (after the pool is closed)."""
+    global _POOL_STATE
+    _POOL_STATE = None  # reprolint: disable=REP009 -- clears the pre-fork publication
+
+
+def pool_world() -> World:
+    """The world published for the active pool (workers and parent)."""
+    if _POOL_STATE is None:
+        raise RuntimeError("no pool state published (set_pool_state)")
+    return _POOL_STATE[0]
+
+
+def _pool_collect_task(index: int) -> PackedColumns:
+    """Pool task: run the *index*-th published collector, return blobs."""
+    if _POOL_STATE is None:
+        raise RuntimeError("no pool state published (set_pool_state)")
+    world, collectors = _POOL_STATE
+    return collectors[index].collect(world).packed()
+
+
 def land_dataset(writer: "RunWriter", dataset: FeedDataset) -> None:
     """Land one collected dataset into a sighting-store run."""
     columns = dataset.to_columns()
@@ -140,11 +186,22 @@ def land_dataset(writer: "RunWriter", dataset: FeedDataset) -> None:
     )
 
 
+def _land_columnar(
+    results: Dict[str, FeedDataset], writer: Optional["RunWriter"]
+) -> None:
+    for dataset in results.values():
+        obs.add("feeds.records", dataset.total_samples)
+        if writer is not None:
+            with obs.span(f"store.land:{dataset.name}"):
+                land_dataset(writer, dataset)
+
+
 def collect_all(
     world: World,
     collectors: Optional[Iterable[FeedCollector]] = None,
     jobs: Optional[int] = None,
     writer: Optional["RunWriter"] = None,
+    pool: Optional["WorkerPool"] = None,
 ) -> Dict[str, FeedDataset]:
     """Run every collector against *world*; keyed by feed mnemonic.
 
@@ -154,6 +211,13 @@ def collect_all(
     byte-identical to a serial run at any worker count; parallel
     results come back as column-backed datasets (cheap to transport),
     which serve the same statistics in the same order.
+
+    A persistent *pool* (forked after :func:`set_pool_state` published
+    this exact world and collector list) takes precedence over the
+    per-call fan-out: collection then ships only collector indices to
+    the already-forked workers, sharing the fork bill with later
+    stages.  The two parallel paths and the serial path all produce
+    byte-identical datasets.
 
     With a *writer* attached, each dataset lands in the sighting store
     as it is collected (in collector order on the parallel path, where
@@ -172,6 +236,17 @@ def collect_all(
             raise ValueError(f"duplicate feed name {name!r}")
         seen.add(name)
 
+    labels = [f"feed.collect:{collector.name}" for collector in ordered]
+    if pool is not None and not pool.closed and len(ordered) > 1:
+        packed = pool.run_batch(
+            _pool_collect_task, list(range(len(ordered))), labels=labels
+        )
+        results = {
+            p.name: ColumnarFeedDataset.from_packed(p) for p in packed
+        }
+        _land_columnar(results, writer)
+        return results
+
     width = min(resolve_jobs(jobs), len(ordered))
     if width > 1 and fork_available():
         # Pre-warm the shared placement index so every forked worker
@@ -179,22 +254,16 @@ def collect_all(
         world.placements_by_domain()
         packed = ordered_fanout(
             [
-                (lambda c=collector: c.collect(world).to_columns().pack())
+                (lambda c=collector: c.collect(world).packed())
                 for collector in ordered
             ],
             jobs=width,
-            labels=[
-                f"feed.collect:{collector.name}" for collector in ordered
-            ],
+            labels=labels,
         )
         results = {
-            p.name: ColumnarFeedDataset(p.unpack()) for p in packed
+            p.name: ColumnarFeedDataset.from_packed(p) for p in packed
         }
-        for dataset in results.values():
-            obs.add("feeds.records", dataset.total_samples)
-            if writer is not None:
-                with obs.span(f"store.land:{dataset.name}"):
-                    land_dataset(writer, dataset)
+        _land_columnar(results, writer)
         return results
 
     datasets: Dict[str, FeedDataset] = {}

@@ -23,6 +23,13 @@ strict determinism contract:
 On platforms without ``fork`` (or inside a daemonic worker, where
 nesting pools is impossible) execution transparently degrades to the
 serial path -- same results, one core.
+
+Two executors implement the contract: :func:`ordered_fanout` forks a
+throwaway pool per fan-out (simple, self-contained), and
+:class:`~repro.parallel.pool.WorkerPool` forks **once** per run right
+after the shared world is built and stays alive across stages, so
+collect and render share a single fork bill (see the pool module
+docstring for the placement rationale).
 """
 
 from repro.parallel.fanout import (
@@ -31,9 +38,13 @@ from repro.parallel.fanout import (
     ordered_fanout,
     resolve_jobs,
 )
+from repro.parallel.pool import PoolClosed, WorkerCrashed, WorkerPool
 
 __all__ = [
     "FanoutUnavailable",
+    "PoolClosed",
+    "WorkerCrashed",
+    "WorkerPool",
     "fork_available",
     "ordered_fanout",
     "resolve_jobs",

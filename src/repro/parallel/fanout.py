@@ -19,6 +19,7 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import os
+import sys
 from typing import (
     Any,
     Callable,
@@ -46,18 +47,40 @@ class FanoutUnavailable(RuntimeError):
     """Raised when a caller demands parallelism the host cannot give."""
 
 
+#: Whether the oversubscription warning has been printed yet; the
+#: warning fires once per process so a run with many fan-outs does not
+#: spam stderr.
+_WARNED_OVERSUBSCRIBED = False
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalize a ``--jobs`` value to a concrete worker count.
 
     ``None`` and ``1`` mean serial; ``0`` or negative mean "all cores".
     The resolved count only ever affects execution width -- results are
     reduced by task index -- which is why the ``cpu_count`` dependence
-    below is legitimate.
+    below is legitimate.  Requesting more workers than the host has
+    cores is honored (width never changes bytes) but warned about once
+    on stderr and counted, since the extra workers only add contention.
     """
+    global _WARNED_OVERSUBSCRIBED
     if jobs is None:
         return 1
     if jobs <= 0:
         return os.cpu_count() or 1  # reprolint: disable=REP007 -- width only
+    cores = os.cpu_count() or 1  # reprolint: disable=REP007 -- warning only
+    if jobs > cores:
+        obs.add("parallel.oversubscribed")
+        if not _WARNED_OVERSUBSCRIBED:
+            # A worker that re-resolves jobs marks only its own copy of
+            # the flag; the cost is at most one duplicate stderr line,
+            # never a changed byte of output.
+            _WARNED_OVERSUBSCRIBED = True  # reprolint: disable=REP009 -- advisory warn-once flag
+            print(
+                f"repro: --jobs {jobs} exceeds the {cores} available "
+                "core(s); extra workers only add contention",
+                file=sys.stderr,
+            )
     return jobs
 
 

@@ -1,0 +1,363 @@
+"""Persistent pre-forked worker pool.
+
+:func:`~repro.parallel.fanout.ordered_fanout` forks a fresh pool for
+every fan-out, which makes each stage pay the full fork bill: a
+stop-the-world ``gc.collect``, page-table setup for the whole parent
+heap, and interpreter warm-up in every child.  When a run fans out more
+than once (collect, then render), that overhead is paid per stage and
+can exceed the parallel win -- the failure mode BENCH_pipeline.json
+documented on the way here.
+
+:class:`WorkerPool` forks **once**, immediately after the expensive
+shared state (the simulated world) is built, and keeps its workers
+alive across stages.  Everything that exists at construction time is
+inherited copy-on-write by every worker for the lifetime of the pool;
+later stages ship only *small task descriptors* down a per-worker pipe:
+a module-level function (pickled by reference, a few bytes) plus a
+small payload such as a collector index.  Results come back tagged
+with their submission index and are reduced in that order, so -- like
+``ordered_fanout`` -- worker count is pure execution width: it can
+change wall time, never bytes.
+
+The per-task accounting protocol is shared with ``ordered_fanout``:
+workers report ``(index, result, pid, duration, counter-deltas)``, the
+parent folds counter deltas in task-index order (ints stay ints) and
+reduces pid-keyed durations into densely renumbered per-worker metrics.
+Serial, legacy-fanout, and pool runs therefore produce identical
+counter snapshots and byte-identical artifacts.
+
+Crash safety: task submission and result collection multiplex over the
+result pipes *and* the worker process sentinels, so a worker dying
+mid-task (OOM kill, ``os._exit``) raises :class:`WorkerCrashed` naming
+the lost worker and its task instead of hanging the parent forever.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import os
+from multiprocessing.connection import Connection, wait
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro import obs
+from repro.obs.hosttime import Stopwatch
+from repro.parallel.fanout import (
+    Number,
+    _counter_snapshot,
+    _record_worker_stats,
+    _task_label,
+    fork_available,
+)
+
+#: Message opcodes on the task pipe (parent -> worker).
+_OP_TASK = "task"
+_OP_STOP = "stop"
+
+
+class WorkerCrashed(RuntimeError):
+    """A pool worker died without returning its task's result."""
+
+
+class PoolClosed(RuntimeError):
+    """The pool was used after :meth:`WorkerPool.close`."""
+
+
+def _worker_main(task_conn: Connection, result_conn: Connection) -> None:
+    """Worker loop: run task descriptors until told to stop.
+
+    Every task runs under the same accounting contract as
+    ``fanout._run_indexed``: the worker measures its own duration
+    through the :mod:`repro.obs` clock quarantine and ships the delta
+    of every tracer counter the task incremented, so the parent can
+    fold them back in and keep serial and parallel counter snapshots
+    identical.  Failures are shipped as ``("err", ...)`` messages --
+    the worker survives a failing task; only the parent decides
+    whether to keep going.
+    """
+    while True:
+        try:
+            message = task_conn.recv()
+        except EOFError:
+            # Parent went away without a clean shutdown; nothing left
+            # to serve.
+            break
+        if message[0] == _OP_STOP:
+            break
+        _, index, fn, payload = message
+        try:
+            before = _counter_snapshot()
+            watch = Stopwatch()
+            result = fn(payload)
+            elapsed = watch.elapsed()
+            deltas = {
+                name: value - before.get(name, 0)
+                for name, value in _counter_snapshot().items()
+                if value != before.get(name, 0)
+            }
+            result_conn.send(
+                ("ok", index, result, os.getpid(), elapsed, deltas)
+            )
+        except BaseException as exc:  # noqa: BLE001 - shipped to parent
+            try:
+                result_conn.send(("err", index, exc))
+            except Exception:
+                # The exception itself does not pickle; ship a
+                # description instead of dying silently.
+                result_conn.send(
+                    ("err", index, RuntimeError(repr(exc)))
+                )
+
+
+class WorkerPool:
+    """A fixed-width pool of fork-inherited, pipe-fed workers.
+
+    Fork placement is the whole point: construct the pool *after* the
+    expensive shared state exists and every worker inherits it
+    copy-on-write, paying the fork exactly once per run no matter how
+    many stages fan out.  The parent heap is frozen into the permanent
+    GC generation for the pool's lifetime so child collections do not
+    dirty the inherited pages.
+
+    Task functions must be module-level callables (they are pickled by
+    reference); per-task inputs travel as small payloads.  State that
+    is created *after* the fork can be installed once per stage with
+    :meth:`broadcast` instead of being re-shipped with every task.
+    """
+
+    def __init__(self, width: int):
+        # Pre-seed shutdown state so close()/__del__ are safe even if
+        # construction raises before any worker exists.
+        self._closed = True
+        self._frozen = False
+        self._workers: List[Any] = []
+        self._task_conns: List[Connection] = []
+        self._result_conns: List[Connection] = []
+        if width < 2:
+            raise ValueError("a worker pool needs at least 2 workers")
+        if not fork_available():
+            raise WorkerCrashed(
+                "fork-based worker pools are unavailable on this platform"
+            )
+        context = multiprocessing.get_context("fork")
+        # Freeze before forking (see module docstring): inherited
+        # objects move to the permanent generation so worker GCs skip
+        # them and their copy-on-write pages stay shared.
+        gc.collect()
+        gc.freeze()
+        self._frozen = True
+        for _ in range(width):
+            # Pipe(duplex=False) returns (read-end, write-end): the
+            # parent writes tasks and reads results, the worker holds
+            # the opposite ends.
+            task_recv, task_send = context.Pipe(duplex=False)
+            result_recv, result_send = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_worker_main,
+                args=(task_recv, result_send),
+                daemon=True,
+            )
+            process.start()
+            # The worker holds the other ends; closing ours makes its
+            # recv() raise EOFError if the parent dies uncleanly.
+            task_recv.close()
+            result_send.close()
+            self._workers.append(process)
+            self._task_conns.append(task_send)
+            self._result_conns.append(result_recv)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Number of workers forked at construction."""
+        return len(self._workers)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (or the pool broke)."""
+        return self._closed
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PoolClosed("worker pool has been closed")
+
+    def _crash(self, worker: int, detail: str) -> "WorkerCrashed":
+        # A dead worker cannot be trusted for further tasks; tear the
+        # whole pool down so the caller's next attempt starts clean.
+        self.close()
+        return WorkerCrashed(
+            f"pool worker {worker} (pid {self._workers[worker].pid}) "
+            f"died {detail}"
+        )
+
+    def run_batch(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[Any]:
+        """Run ``fn(payload)`` for every payload; results in input order.
+
+        Tasks are dealt one at a time to whichever worker is free
+        (completion-order *scheduling* for load balance), but results
+        are slotted by submission index and counter deltas are folded
+        in that same index order, so scheduling never shows up in the
+        output.  ``labels`` (one per payload) names the per-task spans
+        in the run manifest.
+        """
+        self._check_open()
+        if labels is not None and len(labels) != len(payloads):
+            raise ValueError("labels must match payloads one-to-one")
+        n = len(payloads)
+        results: List[Any] = [None] * n
+        if n == 0:
+            return results
+        with obs.span("parallel.fanout", tasks=n, width=self.width, pool=True):
+            watch = Stopwatch()
+            meta: List[Tuple[int, int, float]] = []
+            deltas_by_index: Dict[int, Dict[str, Number]] = {}
+            busy: Dict[int, int] = {}  # worker -> outstanding task index
+            next_task = 0
+            for worker in range(min(self.width, n)):
+                self._task_conns[worker].send(
+                    (_OP_TASK, next_task, fn, payloads[next_task])
+                )
+                busy[worker] = next_task
+                next_task += 1
+            while busy:
+                ready = wait(
+                    [self._result_conns[w] for w in busy]
+                    + [self._workers[w].sentinel for w in busy]
+                )
+                progressed = False
+                for worker in sorted(busy):
+                    conn = self._result_conns[worker]
+                    if conn not in ready or not conn.poll():
+                        continue
+                    progressed = True
+                    try:
+                        message = conn.recv()
+                    except EOFError:
+                        # The worker died with its result pipe open;
+                        # the EOF is the crash signal.
+                        label = _task_label(labels, busy[worker])
+                        raise self._crash(
+                            worker, f"while running task {label!r}"
+                        ) from None
+                    if message[0] == "err":
+                        _, index, error = message
+                        del busy[worker]
+                        raise error
+                    _, index, result, pid, elapsed, deltas = message
+                    results[index] = result
+                    meta.append((index, pid, elapsed))
+                    deltas_by_index[index] = deltas
+                    if next_task < n:
+                        self._task_conns[worker].send(
+                            (_OP_TASK, next_task, fn, payloads[next_task])
+                        )
+                        busy[worker] = next_task
+                        next_task += 1
+                    else:
+                        del busy[worker]
+                if progressed:
+                    continue
+                for worker in sorted(busy):
+                    if not self._workers[worker].is_alive():
+                        label = _task_label(labels, busy[worker])
+                        raise self._crash(
+                            worker, f"while running task {label!r}"
+                        )
+            obs.add("fanout.tasks", n)
+            # Fold worker counter increments back into the parent
+            # tracer in task-index order: counters are sums, so the
+            # merged totals match a serial run exactly.
+            for index in range(n):
+                deltas = deltas_by_index.get(index, {})
+                for name in sorted(deltas):
+                    obs.add(name, deltas[name])
+            _record_worker_stats(meta, labels, watch.elapsed())
+        return results
+
+    def broadcast(self, fn: Callable[[Any], Any], payload: Any) -> List[Any]:
+        """Run ``fn(payload)`` once in *every* worker; results by worker.
+
+        This is the stage-boundary hook: state assembled after the fork
+        (for example the collected feed columns) is installed into all
+        workers in one shot, instead of riding along with every task.
+        Broadcast effects are worker-local by design -- counter deltas
+        are *not* folded back, because a serial run has no equivalent
+        step -- so broadcast functions must only build caches, never
+        produce results the run depends on.
+        """
+        self._check_open()
+        with obs.span("parallel.pool.broadcast", width=self.width):
+            for conn in self._task_conns:
+                conn.send((_OP_TASK, 0, fn, payload))
+            results = []
+            for worker in range(self.width):
+                conn = self._result_conns[worker]
+                while not conn.poll(0.05):
+                    if not self._workers[worker].is_alive():
+                        raise self._crash(worker, "during a broadcast")
+                try:
+                    message = conn.recv()
+                except EOFError:
+                    raise self._crash(worker, "during a broadcast") from None
+                if message[0] == "err":
+                    raise message[2]
+                results.append(message[2])
+        return results
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop and reap all workers.  Safe to call any number of times."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._task_conns:
+            try:
+                conn.send((_OP_STOP, None))
+            except (BrokenPipeError, OSError):
+                pass  # worker already gone
+        for process in self._workers:
+            process.join(timeout)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout)
+        for conn in self._task_conns + self._result_conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        if self._frozen:
+            self._frozen = False
+            gc.unfreeze()

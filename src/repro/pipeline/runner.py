@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.analysis import (
@@ -33,14 +33,23 @@ from repro.feeds import (
     FeedCollector,
     FeedDataset,
     PAPER_FEED_ORDER,
+    clear_pool_state,
     collect_all,
     land_dataset,
+    pool_world,
+    set_pool_state,
     standard_feed_suite,
 )
 from repro.feeds.base import ColumnarFeedDataset, PackedColumns
 from repro.io.artifacts import ArtifactCache, artifact_key, fingerprint
 from repro.store.sightings import RunWriter, SightingStore, run_key_for
-from repro.parallel import ordered_fanout, resolve_jobs
+from repro.parallel import (
+    WorkerCrashed,
+    WorkerPool,
+    fork_available,
+    ordered_fanout,
+    resolve_jobs,
+)
 from repro.reporting.charts import (
     render_bars,
     render_box_stats,
@@ -71,6 +80,49 @@ class PipelineResult:
     world: World
     datasets: Dict[str, FeedDataset]
     comparison: FeedComparison
+
+
+#: Per-worker render pipeline, installed by a pool broadcast after the
+#: feeds are collected.  Worker-local by construction: the broadcast
+#: runs inside each forked worker, so this global never changes in the
+#: parent process.
+_RENDER_PIPELINE: Optional["PaperPipeline"] = None
+
+
+def _pool_install_render_state(
+    payload: "Tuple[List[PackedColumns], int, List[str]]",
+) -> bool:
+    """Pool broadcast handler: build this worker's render pipeline.
+
+    The world is inherited copy-on-write (it existed when the pool
+    forked); only the collected columns -- which did not -- are shipped,
+    as packed blobs.  Each worker assembles its own comparison and warms
+    the shared crawl so the subsequent render tasks find everything
+    cached.  Rendering is a pure function of ``(world, datasets, seed)``,
+    so worker-built state yields byte-identical text.
+    """
+    global _RENDER_PIPELINE
+    packed, seed, feed_order = payload
+    world = pool_world()
+    datasets: Dict[str, FeedDataset] = {
+        p.name: ColumnarFeedDataset.from_packed(p) for p in packed
+    }
+    comparison = FeedComparison(world, datasets, seed=seed)
+    pipeline = PaperPipeline(seed=seed, feed_order=feed_order)
+    pipeline._result = PipelineResult(world, datasets, comparison)
+    comparison.crawl_results()
+    _RENDER_PIPELINE = pipeline  # reprolint: disable=REP009 -- post-fork, worker-local install
+    return True
+
+
+def _pool_render_task(name: str) -> str:
+    """Pool task: run one named renderer on the installed pipeline."""
+    if _RENDER_PIPELINE is None:
+        raise RuntimeError(
+            "render state was not installed in this pool worker"
+        )
+    render = getattr(_RENDER_PIPELINE, name)
+    return str(render())
 
 
 class PaperPipeline:
@@ -105,6 +157,12 @@ class PaperPipeline:
         #: it, so results are byte-identical with or without one.
         self.store = store
         self._result: Optional[PipelineResult] = None
+        #: The persistent worker pool, forked once per run immediately
+        #: after the world is built (cold runs with ``jobs`` > 1 only).
+        #: It stays alive across collect and render so both stages
+        #: share one fork bill; :meth:`close` releases it.
+        self._pool: Optional[WorkerPool] = None
+        self._render_installed = False
 
     # ------------------------------------------------------------------
     # Execution
@@ -136,7 +194,7 @@ class PaperPipeline:
             return None
         try:
             datasets: Dict[str, FeedDataset] = {
-                packed.name: ColumnarFeedDataset(packed.unpack())
+                packed.name: ColumnarFeedDataset.from_packed(packed)
                 for packed in columns
             }
         except ValueError:
@@ -153,7 +211,7 @@ class PaperPipeline:
             {
                 "world": result.world,
                 "columns": [
-                    result.datasets[name].to_columns().pack()
+                    result.datasets[name].packed()
                     for name in result.datasets
                 ],
             },
@@ -180,9 +238,14 @@ class PaperPipeline:
                 collectors = (
                     self._collectors or standard_feed_suite(self.seed)
                 )
+                self._fork_pool(world, collectors)
                 with obs.span("feeds.collect", feeds=len(collectors)):
                     datasets = collect_all(
-                        world, collectors, jobs=self.jobs, writer=writer
+                        world,
+                        collectors,
+                        jobs=self.jobs,
+                        writer=writer,
+                        pool=self._pool,
                     )
                 with obs.span("comparison.assemble"):
                     comparison = FeedComparison(
@@ -202,6 +265,47 @@ class PaperPipeline:
             if writer is not None:
                 writer.finish()
         return self._result
+
+    def _fork_pool(
+        self, world: World, collectors: List[FeedCollector]
+    ) -> None:
+        """Fork the persistent worker pool (cold parallel runs only).
+
+        Placement is the tentpole: the fork happens *after* the world
+        is built -- and after its shared placement index is pre-warmed
+        -- so every worker inherits all of it copy-on-write, and
+        *before* collection, so collect and render both reuse the same
+        workers.  Serial runs, platforms without fork, and cache hits
+        (where only the render fan-out remains and the legacy per-stage
+        pool is already optimal) skip the pool entirely.
+        """
+        width = resolve_jobs(self.jobs)
+        if width < 2 or not fork_available():
+            return
+        with obs.span("pool.fork", width=width):
+            world.placements_by_domain()
+            set_pool_state(world, list(collectors))
+            try:
+                self._pool = WorkerPool(width)
+            except WorkerCrashed:
+                clear_pool_state()  # degrade to the per-stage fan-out
+
+    def close(self) -> None:
+        """Release the worker pool and its pre-fork state.  Idempotent."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._render_installed = False
+            clear_pool_state()
+
+    def __enter__(self) -> "PaperPipeline":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        self.close()
 
     def _open_store_run(self) -> Optional[RunWriter]:
         if self.store is None:
@@ -509,7 +613,10 @@ class PaperPipeline:
         The fifteen renderers are independent given a warmed
         comparison, so with ``jobs`` > 1 they fan out across a worker
         pool and come back joined in the fixed paper order -- the text
-        is byte-identical at any worker count.  A warm render cache
+        is byte-identical at any worker count.  When this run forked a
+        persistent pool, the renderers reuse its workers (one broadcast
+        installs the collected columns; the world was inherited at fork
+        time) instead of paying a second fork.  A warm render cache
         short-circuits the whole computation.
         """
         with obs.span("render.all"):
@@ -542,14 +649,35 @@ class PaperPipeline:
                 for fn in renderers
             ]
             width = resolve_jobs(self.jobs if jobs is None else jobs)
-            if width > 1:
-                # Warm the shared expensive analyses before the pool
-                # forks so every worker inherits them copy-on-write
-                # instead of recomputing the crawl per renderer.
-                with obs.span("comparison.warm"):
-                    self.run()
-                    self.comparison.crawl_results()
-            parts = ordered_fanout(renderers, jobs=width, labels=labels)
+            if width > 1 and self._pool is not None and not self._pool.closed:
+                result = self.run()
+                if not self._render_installed:
+                    # One broadcast ships the packed columns into every
+                    # worker; the workers warm their own comparison
+                    # there, so the parent never pays the crawl.
+                    packed = [
+                        result.datasets[name].packed()
+                        for name in result.datasets
+                    ]
+                    self._pool.broadcast(
+                        _pool_install_render_state,
+                        (packed, self.seed, list(self.feed_order)),
+                    )
+                    self._render_installed = True
+                parts = self._pool.run_batch(
+                    _pool_render_task,
+                    [fn.__name__ for fn in renderers],
+                    labels=labels,
+                )
+            else:
+                if width > 1:
+                    # Warm the shared expensive analyses before the pool
+                    # forks so every worker inherits them copy-on-write
+                    # instead of recomputing the crawl per renderer.
+                    with obs.span("comparison.warm"):
+                        self.run()
+                        self.comparison.crawl_results()
+                parts = ordered_fanout(renderers, jobs=width, labels=labels)
             text = "\n\n".join(parts)
             with obs.span("cache.store-render"):
                 if cache_key is not None and self.cache is not None:

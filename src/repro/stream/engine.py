@@ -572,10 +572,14 @@ def build_stream_engine(
         # importable without the pipeline layer.
         from repro.pipeline.runner import PaperPipeline
 
-        result = PaperPipeline(
+        # Close the pipeline once collected: the stream engine only
+        # needs the state, so any persistent worker pool the run forked
+        # would otherwise idle for the engine's whole lifetime.
+        with PaperPipeline(
             config, seed=seed, collectors=collectors,
             feed_order=feed_order, jobs=jobs, cache=cache,
-        ).run()
+        ) as pipeline:
+            result = pipeline.run()
         world, datasets = result.world, result.datasets
     else:
         with obs.span("world.build"):

@@ -12,10 +12,16 @@ from __future__ import annotations
 import pytest
 
 from repro.ecosystem import build_world, small_config
-from repro.feeds import collect_all, standard_feed_suite
+from repro.feeds import (
+    clear_pool_state,
+    collect_all,
+    set_pool_state,
+    standard_feed_suite,
+)
 from repro.feeds.base import ColumnarFeedDataset, FeedDataset, FeedRecord, FeedType
 from repro.parallel import (
     FanoutUnavailable,
+    WorkerPool,
     fork_available,
     ordered_fanout,
     resolve_jobs,
@@ -23,6 +29,9 @@ from repro.parallel import (
 from repro.pipeline import PaperPipeline
 
 EQUIVALENCE_SEEDS = (7, 11)
+
+#: The pool contract is pinned at every seed the paper artifacts use.
+POOL_SEEDS = (7, 11, 2012)
 
 
 # ----------------------------------------------------------------------
@@ -174,6 +183,45 @@ def test_collect_all_byte_identical_across_jobs(seed):
             )
             assert b.feed_type is a.feed_type
             assert b.has_volume == a.has_volume
+
+
+# ----------------------------------------------------------------------
+# The persistent pool: byte-identical to serial and legacy fan-out
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", POOL_SEEDS)
+def test_pool_collect_matches_serial_and_legacy_fanout(seed):
+    world = build_world(small_config(), seed=seed)
+    serial = collect_all(world, standard_feed_suite(seed))
+    legacy = collect_all(world, standard_feed_suite(seed), jobs=2)
+    collectors = standard_feed_suite(seed)
+    set_pool_state(world, collectors)
+    try:
+        with WorkerPool(2) as pool:
+            pooled = collect_all(world, collectors, pool=pool)
+    finally:
+        clear_pool_state()
+    assert list(pooled) == list(serial) == list(legacy)
+    for name in serial:
+        s, f, p = serial[name], legacy[name], pooled[name]
+        assert p.records == s.records == f.records, (seed, name)
+        assert list(p.first_seen().items()) == list(s.first_seen().items())
+        assert list(p.last_seen().items()) == list(s.last_seen().items())
+        # The packed wire format is the byte-level contract.
+        assert p.packed() == s.packed() == f.packed()
+
+
+@pytest.mark.parametrize("seed", POOL_SEEDS)
+def test_pool_pipeline_render_matches_serial(seed):
+    serial = PaperPipeline(small_config(), seed=seed).render_all()
+    with PaperPipeline(small_config(), seed=seed, jobs=2) as pipeline:
+        pooled = pipeline.render_all()
+        # The pool really carried both stages: forked once at run(),
+        # still alive after render.
+        assert pipeline._pool is not None
+        assert not pipeline._pool.closed
+    assert pooled == serial
 
 
 # ----------------------------------------------------------------------

@@ -213,6 +213,100 @@ class TestRep009ForkSafety:
 
 
 # ----------------------------------------------------------------------
+# REP009/REP010 over worker-pool dispatches
+# ----------------------------------------------------------------------
+
+
+class TestPoolDispatchBoundaries:
+    """``pool.run_batch(fn, ...)``/``pool.broadcast(fn, ...)`` are
+    fan-out boundaries: the submitted callable runs in forked workers,
+    so the same reachability rules apply to it."""
+
+    def test_global_mutation_in_pool_task(self):
+        # Seeded known-bad fixture: a run_batch-submitted task assigns
+        # a module global; the write dies with the worker.
+        findings = findings_for(
+            """
+            from repro.parallel.pool import WorkerPool
+            COUNT = 0
+
+            def work(payload):
+                global COUNT
+                COUNT = COUNT + payload
+                return COUNT
+
+            def run_all(payloads):
+                with WorkerPool(2) as pool:
+                    return pool.run_batch(work, payloads)
+            """
+        )
+        assert [f.rule for f in findings] == ["REP009"]
+        assert "COUNT" in findings[0].message
+
+    def test_broadcast_task_mutating_module_state(self):
+        findings = findings_for(
+            """
+            from repro.parallel.pool import WorkerPool
+            CACHE = {}
+
+            def install(payload):
+                CACHE["state"] = payload
+                return True
+
+            def prime(pool, payload):
+                return pool.broadcast(install, payload)
+            """
+        )
+        assert [f.rule for f in findings] == ["REP009"]
+        assert "CACHE" in findings[0].message
+
+    def test_shared_stream_in_pool_task(self):
+        findings = findings_for(
+            """
+            from random import Random
+            from repro.parallel.pool import WorkerPool
+            shared_rng = Random(7)
+
+            def draw(payload):
+                return shared_rng.random() + payload
+
+            def run_all(pool, payloads):
+                return pool.run_batch(draw, payloads)
+            """
+        )
+        assert [f.rule for f in findings] == ["REP010"]
+
+    def test_pure_pool_task_is_clean(self):
+        assert rules_hit(
+            """
+            from repro.parallel.pool import WorkerPool
+
+            def work(payload):
+                return payload * payload
+
+            def run_all(payloads):
+                with WorkerPool(2) as pool:
+                    return pool.run_batch(work, payloads)
+            """
+        ) == set()
+
+    def test_pragma_suppresses_pool_finding(self):
+        assert rules_hit(
+            """
+            from repro.parallel.pool import WorkerPool
+            _STATE = {}
+
+            def install(payload):
+                _STATE["x"] = payload  # reprolint: disable=REP009 -- post-fork, worker-local install
+                return True
+
+            def prime(pool, payload):
+                return pool.broadcast(install, payload)
+            """
+        ) == set()
+
+
+# ----------------------------------------------------------------------
 # REP010: RNG stream discipline
 # ----------------------------------------------------------------------
 
