@@ -1,0 +1,162 @@
+"""Measure the sharded world build across scales and shard counts.
+
+Writes ``BENCH_world.json``: wall-clock seconds, peak RSS, and derived
+speedups for the ecosystem build at 1x / 10x / 100x the paper scale,
+serial vs. sharded.  Run it directly:
+
+    PYTHONPATH=src python benchmarks/world_scale.py --out BENCH_world.json
+
+Every scenario runs in a **fresh subprocess** because ``ru_maxrss`` is a
+process-lifetime high-water mark: measuring two scenarios in one
+process would report the larger build's peak for both.  The 100x
+*monolithic* build is never run -- its row is extrapolated linearly
+from the measured 10x monolithic build (that extrapolation being
+optimistic for memory is exactly what the sharded path is for).
+
+The host core count is embedded prominently (``available_cpus``): on a
+single-core container the parallel rows measure dispatch overhead, not
+speedup -- regenerate on a multi-core host for the headline numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+SRC = os.path.join(os.path.dirname(HERE), "src")
+
+#: (label, scale, shards, mode).  mode "world" assembles the full
+#: World object graph; mode "summary" folds packed units into the
+#: bounded-memory scale summary without materializing a world.
+SCENARIOS = [
+    ("1x-monolithic-world", 1.0, 1, "world"),
+    ("1x-sharded-summary", 1.0, 4, "summary"),
+    ("10x-monolithic-world", 10.0, 1, "world"),
+    ("10x-serial-summary", 10.0, 1, "summary"),
+    ("10x-sharded-summary", 10.0, 8, "summary"),
+    ("100x-sharded-summary", 100.0, 16, "summary"),
+]
+
+_CHILD = r"""
+import json, resource, sys, time
+from repro.ecosystem import (
+    build_world, paper_config, scaled_config, summarize_world_sharded,
+    world_fingerprint,
+)
+
+scale, shards, mode, seed = (
+    float(sys.argv[1]), int(sys.argv[2]), sys.argv[3], int(sys.argv[4])
+)
+config = paper_config()
+if scale != 1.0:
+    config = scaled_config(config, scale)
+
+start = time.perf_counter()
+if mode == "world":
+    world = build_world(config, seed=seed)
+    payload = {
+        "campaigns": len(world.campaigns),
+        "fingerprint": world_fingerprint(world),
+    }
+else:
+    summary = summarize_world_sharded(
+        config, seed=seed, shards=shards, jobs=shards
+    )
+    payload = {
+        "campaigns": summary.campaigns,
+        "placements": summary.placements,
+        "merged_events": summary.merged_events,
+        "fingerprint": summary.fingerprint,
+    }
+elapsed = time.perf_counter() - start
+payload["wall_seconds"] = round(elapsed, 3)
+payload["peak_rss_kib"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps(payload))
+"""
+
+
+def run_scenario(label, scale, shards, mode, seed):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(scale), str(shards), mode,
+         str(seed)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    result = json.loads(proc.stdout.splitlines()[-1])
+    result.update(label=label, scale=scale, shards=shards, mode=mode)
+    return result
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_world.json")
+    parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="only the 1x scenarios (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = [
+        s for s in SCENARIOS if not args.quick or s[1] == 1.0
+    ]
+    results = []
+    for label, scale, shards, mode in scenarios:
+        print(f"[world-scale] {label} ...", file=sys.stderr, flush=True)
+        results.append(run_scenario(label, scale, shards, mode, args.seed))
+        row = results[-1]
+        print(
+            f"[world-scale] {label}: {row['wall_seconds']}s, "
+            f"peak {row['peak_rss_kib']} KiB",
+            file=sys.stderr, flush=True,
+        )
+
+    by_label = {r["label"]: r for r in results}
+    derived = {}
+    mono10 = by_label.get("10x-monolithic-world")
+    if mono10 is not None:
+        # Never actually built: linear extrapolation of the measured
+        # 10x monolithic run, the baseline the sharded path displaces.
+        derived["100x-monolithic-extrapolated"] = {
+            "wall_seconds": round(mono10["wall_seconds"] * 10, 1),
+            "peak_rss_kib": mono10["peak_rss_kib"] * 10,
+        }
+        sharded100 = by_label.get("100x-sharded-summary")
+        if sharded100 is not None:
+            derived["rss_ratio_100x_sharded_vs_extrapolated"] = round(
+                sharded100["peak_rss_kib"]
+                / (mono10["peak_rss_kib"] * 10),
+                3,
+            )
+    serial10 = by_label.get("10x-serial-summary")
+    sharded10 = by_label.get("10x-sharded-summary")
+    if serial10 and sharded10:
+        derived["speedup_10x_sharded_vs_serial"] = round(
+            serial10["wall_seconds"] / sharded10["wall_seconds"], 2
+        )
+
+    report = {
+        # Single most important caveat for reading any number below:
+        # on a 1-CPU host the sharded rows measure fork/IPC overhead.
+        "available_cpus": os.cpu_count(),
+        "seed": args.seed,
+        "scenarios": results,
+        "derived": derived,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"[world-scale] wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

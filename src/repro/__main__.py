@@ -31,7 +31,12 @@ from typing import Optional, Sequence
 from repro import obs
 from repro.analysis.filtering import evaluate_all_filters
 from repro.analysis.recommend import Question, rank_feeds
-from repro.ecosystem import EcosystemConfig, paper_config, small_config
+from repro.ecosystem import (
+    EcosystemConfig,
+    paper_config,
+    scaled_config,
+    small_config,
+)
 from repro.io.artifacts import ArtifactCache, default_cache_dir, fingerprint
 from repro.io.checkpoint import CheckpointError, read_checkpoint_any
 from repro.obs.hosttime import Stopwatch
@@ -109,6 +114,8 @@ def _finish_observability(
             seed=args.seed,
             config_fingerprint=fingerprint(config),
             jobs=getattr(args, "jobs", None),
+            scale=getattr(args, "scale", None),
+            shards=getattr(args, "shards", None),
         )
         write_manifest(trace_path, manifest)
         _progress(args, f"Run manifest written to {trace_path}")
@@ -130,16 +137,32 @@ def _finish_observability(
         )
 
 
+def _resolved_config(args) -> EcosystemConfig:
+    """The ecosystem config the flags describe.
+
+    ``--scale`` multiplies the spam-side population (campaign-class
+    counts, DGA pool, webspam/junk pools).  The scaled config has its
+    own fingerprint, so cached artifacts and sighting-store runs never
+    cross scales.
+    """
+    config = small_config() if args.small else paper_config()
+    scale = getattr(args, "scale", None)
+    if scale is not None and scale != 1.0:
+        config = scaled_config(config, scale)
+    return config
+
+
 def _build_pipeline(
     args, store: Optional[SightingStore] = None
 ) -> PaperPipeline:
-    config = small_config() if args.small else paper_config()
+    config = _resolved_config(args)
     pipeline = PaperPipeline(
         config,
         seed=args.seed,
         jobs=getattr(args, "jobs", None),
         cache=_artifact_cache(args),
         store=store,
+        shards=getattr(args, "shards", None),
     )
     _progress(args, "Building world and collecting feeds...")
     pipeline.run()
@@ -181,15 +204,12 @@ def _cmd_stream(args) -> int:
         if store is not None:
             store.close()
     if status == 0:
-        _finish_observability(
-            args, tracer, "stream",
-            small_config() if args.small else paper_config(),
-        )
+        _finish_observability(args, tracer, "stream", _resolved_config(args))
     return status
 
 
 def _stream_body(args, store: Optional[SightingStore] = None) -> int:
-    config = small_config() if args.small else paper_config()
+    config = _resolved_config(args)
     _progress(args, "Building world and collecting feed sources...")
     engine = build_stream_engine(
         config,
@@ -197,6 +217,7 @@ def _stream_body(args, store: Optional[SightingStore] = None) -> int:
         batch_size=args.batch_size,
         jobs=args.jobs,
         cache=_artifact_cache(args),
+        shards=getattr(args, "shards", None),
     )
 
     def save_checkpoint() -> bool:
@@ -486,6 +507,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="worker processes for collection/rendering "
              "(default 1 = serial, 0 = all cores); output is identical "
              "at any value",
+    )
+    perf_parser.add_argument(
+        "--scale", type=float, default=None, metavar="X",
+        help="multiply the spam-side world size (campaign counts, DGA "
+             "and junk pools) by X; the scaled config gets its own "
+             "cache fingerprint",
+    )
+    perf_parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="build the world in N parallel shards (default 1 = "
+             "serial); the world is byte-identical at any value",
     )
     perf_parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",

@@ -76,11 +76,12 @@ MUTATING_METHODS = frozenset(
 #: literal) dispatches its first argument's callables onto workers.
 FANOUT_NAME = "ordered_fanout"
 
-#: Worker-pool dispatch methods: ``pool.run_batch(fn, payloads)`` and
-#: ``pool.broadcast(fn, payload)`` run their first argument in forked
-#: workers, so the submitted callable is a fan-out root exactly like an
-#: ``ordered_fanout`` task.
-POOL_DISPATCH_METHODS = frozenset({"run_batch", "broadcast"})
+#: Worker-pool dispatch methods: ``pool.run_batch(fn, payloads)``,
+#: ``pool.run_stream(fn, payloads)`` and ``pool.broadcast(fn, payload)``
+#: run their first argument in forked workers, so the submitted callable
+#: is a fan-out root exactly like an ``ordered_fanout`` task.  The
+#: sharded world build dispatches through ``run_stream``.
+POOL_DISPATCH_METHODS = frozenset({"run_batch", "run_stream", "broadcast"})
 
 #: SQL statements worth summarizing for the store-schema rule.
 _SQL_RE = re.compile(
@@ -813,7 +814,7 @@ class _ScopeAnalyzer(ast.NodeVisitor):
         )
 
     def _record_pool_dispatch(self, node: ast.Call) -> None:
-        """``pool.run_batch(fn, ...)`` / ``pool.broadcast(fn, ...)``.
+        """``pool.run_batch/run_stream/broadcast(fn, ...)``.
 
         The submitted callable runs in forked workers, so it gets the
         same :class:`FanoutSite` treatment as an ``ordered_fanout``

@@ -20,6 +20,7 @@ from repro.domains.names import (
     DgaNameGenerator,
     SpamNameGenerator,
     is_plausible_dga,
+    salt_token,
 )
 from repro.domains.parse import (
     InvalidDomainError,
@@ -43,5 +44,6 @@ __all__ = [
     "normalize_domain",
     "parse_url",
     "registered_domain",
+    "salt_token",
     "split_domain",
 ]

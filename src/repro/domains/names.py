@@ -102,6 +102,32 @@ def _syllable(rng: random.Random) -> str:
     return rng.choice(_CONSONANTS) + rng.choice(_VOWELS)
 
 
+#: Number of distinct consonant-vowel syllables :func:`salt_token` can
+#: emit per position (the base of its integer encoding).
+SALT_BASE = len(_CONSONANTS) * len(_VOWELS)
+
+
+def salt_token(index: int) -> str:
+    """Encode *index* as a pronounceable consonant-vowel syllable string.
+
+    The mapping is injective: distinct indices yield distinct tokens, so
+    two generators salted with different indices can never issue the
+    same name (see :class:`SpamNameGenerator`).  Tokens contain only
+    letters -- never digits or hyphens -- which is what makes the salted
+    label grammar unambiguous.
+    """
+    if index < 0:
+        raise ValueError("salt index must be non-negative")
+    syllables: List[str] = []
+    while True:
+        index, digit = divmod(index, SALT_BASE)
+        consonant, vowel = divmod(digit, len(_VOWELS))
+        syllables.append(_CONSONANTS[consonant] + _VOWELS[vowel])
+        if index == 0:
+            break
+    return "".join(reversed(syllables))
+
+
 class _BaseNameGenerator:
     """Shared machinery: collision-free issuance from a seeded RNG.
 
@@ -148,6 +174,15 @@ class SpamNameGenerator(_BaseNameGenerator):
 
     Names look like real spam-advertised storefronts: one or two stock
     words, optional glue syllables and digits, a spam-skewed TLD mix.
+
+    A non-empty *salt* partitions the name space: the salt is embedded
+    in every label behind a hyphen (word stock and glue contain none),
+    followed only by optional digits, so labels from generators with
+    different salts can never be equal.  The sharded world build salts
+    every campaign's generator with its campaign id, which is what
+    makes shard-local name issuance globally collision-free without any
+    shared issued-name set.  Salted and unsalted generators consume
+    identical RNG draw sequences.
     """
 
     _CATEGORY_WORDS: Mapping[str, Sequence[str]] = {
@@ -161,11 +196,15 @@ class SpamNameGenerator(_BaseNameGenerator):
         rng: random.Random,
         category: str = "pharma",
         issued: Optional[Set[str]] = None,
+        salt: str = "",
     ) -> None:
         super().__init__(rng, issued)
         if category not in self._CATEGORY_WORDS:
             raise ValueError(f"unknown goods category {category!r}")
+        if salt and not salt.isalpha():
+            raise ValueError("salt must be letters only")
         self.category = category
+        self.salt = salt
         self._words = self._CATEGORY_WORDS[category]
 
     def generate(self) -> str:
@@ -179,6 +218,8 @@ class SpamNameGenerator(_BaseNameGenerator):
                 parts.append(rng.choice(GENERIC_SUFFIX_WORDS))
             elif roll < 0.70:
                 parts.append(_syllable(rng) + _syllable(rng))
+            if self.salt:
+                parts.append("-" + self.salt)
             if rng.random() < 0.35:
                 parts.append(str(rng.randrange(1, 1000)))
             label = "".join(parts)

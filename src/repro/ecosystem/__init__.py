@@ -21,6 +21,7 @@ from repro.ecosystem.config import (
     CampaignClassConfig,
     EcosystemConfig,
     paper_config,
+    scaled_config,
     small_config,
 )
 from repro.ecosystem.entities import (
@@ -35,7 +36,16 @@ from repro.ecosystem.entities import (
 )
 from repro.ecosystem.registry import Registry, RegistryEntry
 from repro.ecosystem.benign import BenignWorld
-from repro.ecosystem.builder import WorldBuilder, build_world
+from repro.ecosystem.builder import BuildContext, WorldBuilder, build_world
+from repro.ecosystem.shard import (
+    ShardPlan,
+    WorldScaleSummary,
+    build_plan,
+    build_world_sharded,
+    shard_ranges,
+    summarize_world_sharded,
+    world_fingerprint,
+)
 from repro.ecosystem.world import World
 
 __all__ = [
@@ -44,6 +54,7 @@ __all__ = [
     "AffiliateProgram",
     "BenignWorld",
     "Botnet",
+    "BuildContext",
     "Campaign",
     "CampaignClass",
     "CampaignClassConfig",
@@ -52,9 +63,17 @@ __all__ = [
     "GoodsCategory",
     "Registry",
     "RegistryEntry",
+    "ShardPlan",
     "World",
     "WorldBuilder",
+    "WorldScaleSummary",
+    "build_plan",
     "build_world",
+    "build_world_sharded",
     "paper_config",
+    "scaled_config",
+    "shard_ranges",
     "small_config",
+    "summarize_world_sharded",
+    "world_fingerprint",
 ]

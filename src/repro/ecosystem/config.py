@@ -279,9 +279,51 @@ def _default_campaign_classes(scale: float) -> Dict[CampaignClass, CampaignClass
     }
 
 
-def paper_config() -> EcosystemConfig:
-    """The default world: calibrated to the paper's qualitative shape."""
-    return EcosystemConfig(campaign_classes=_default_campaign_classes(1.0))
+def paper_config(scale: float = 1.0) -> EcosystemConfig:
+    """The default world: calibrated to the paper's qualitative shape.
+
+    *scale* multiplies the campaign population and the volume-carrying
+    pools (see :func:`scaled_config`); ``scale=1`` is the laptop-size
+    1:100 reproduction, ``scale=100`` approaches the paper's ~1M
+    distinct spam domains.
+    """
+    config = EcosystemConfig(campaign_classes=_default_campaign_classes(1.0))
+    if scale != 1.0:
+        config = scaled_config(config, scale)
+    return config
+
+
+def scaled_config(config: EcosystemConfig, scale: float) -> EcosystemConfig:
+    """Scale *config*'s spam populations by *scale*.
+
+    Multiplies campaign-class counts, the DGA episode (domains and
+    volume), and the web-spam / junk-report pools.  The benign web is
+    deliberately left fixed: Alexa/ODP list sizes are a property of the
+    measurement apparatus, not of how much spam exists -- and keeping
+    them fixed preserves each feed's benign-contamination *rates* while
+    the spam side grows.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+
+    def n(count: int) -> int:
+        return max(1, int(round(count * scale)))
+
+    classes = {
+        cls: dataclasses.replace(cfg, count=n(cfg.count))
+        for cls, cfg in config.campaign_classes.items()
+    }
+    return dataclasses.replace(
+        config,
+        campaign_classes=classes,
+        dga=dataclasses.replace(
+            config.dga,
+            n_domains=n(config.dga.n_domains),
+            volume=config.dga.volume * scale,
+        ),
+        hyb_webspam_pool=n(config.hyb_webspam_pool),
+        junk_report_pool=n(config.junk_report_pool),
+    )
 
 
 def small_config() -> EcosystemConfig:

@@ -29,7 +29,8 @@ from repro.obs.trace import Tracer
 MANIFEST_FORMAT = "repro-run-manifest"
 
 #: Manifest schema version; bump on incompatible layout changes.
-MANIFEST_VERSION = 1
+#: v2 added ``scale`` and ``shards`` (sharded world build).
+MANIFEST_VERSION = 2
 
 #: Top-level manifest fields and a human-readable type description —
 #: the documentation twin of :func:`validate_manifest`.
@@ -41,6 +42,8 @@ MANIFEST_SCHEMA: Dict[str, str] = {
     "config_fingerprint": "str — SHA-256 of the ecosystem config",
     "git": "str | null — `git describe --always --dirty` of the source",
     "jobs": "int | null — requested worker count (null = serial)",
+    "scale": "number | null — world scale factor (null = paper scale)",
+    "shards": "int | null — world-build shard count (null = serial)",
     "created_unix": "float — wall-clock write time (side channel only)",
     "spans": "list[Span] — the span tree (see Span payload fields)",
     "metrics": "{'counters': {str: num}, 'gauges': {str: num}}",
@@ -90,6 +93,8 @@ def build_manifest(
     seed: int,
     config_fingerprint: str,
     jobs: Optional[int] = None,
+    scale: Optional[float] = None,
+    shards: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Freeze a finished run into a schema-valid manifest dict."""
     manifest: Dict[str, Any] = {
@@ -100,6 +105,8 @@ def build_manifest(
         "config_fingerprint": config_fingerprint,
         "git": git_describe(),
         "jobs": jobs,
+        "scale": scale,
+        "shards": shards,
         "created_unix": wall_now(),
         "spans": tracer.span_payloads(),
         "metrics": tracer.metrics.snapshot(),
@@ -194,6 +201,14 @@ def validate_manifest(manifest: Any) -> None:
     jobs = manifest["jobs"]
     if jobs is not None and (isinstance(jobs, bool) or not isinstance(jobs, int)):
         _fail("jobs", "must be an integer or null")
+    scale = manifest["scale"]
+    if scale is not None:
+        _check_number(scale, "scale")
+    shards = manifest["shards"]
+    if shards is not None and (
+        isinstance(shards, bool) or not isinstance(shards, int)
+    ):
+        _fail("shards", "must be an integer or null")
     _check_number(manifest["created_unix"], "created_unix")
     spans = manifest["spans"]
     if not isinstance(spans, list):

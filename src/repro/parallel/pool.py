@@ -42,6 +42,7 @@ from typing import (
     Any,
     Callable,
     Dict,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -303,6 +304,101 @@ class WorkerPool:
                     obs.add(name, deltas[name])
             _record_worker_stats(meta, labels, watch.elapsed())
         return results
+
+    def run_stream(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        labels: Optional[Sequence[str]] = None,
+    ) -> "Iterator[Tuple[int, Any]]":
+        """Like :meth:`run_batch`, but yield ``(index, result)`` pairs as
+        they become available *in submission-index order*.
+
+        The consumer sees results for payload 0, then 1, then 2 -- out-
+        of-order completions are buffered until their turn -- so a
+        downstream reduction can run incrementally (e.g. merging shard
+        blobs) without holding every result at once; at most
+        ``width - 1`` results are ever buffered.  Counter deltas are
+        folded at emission time, in index order, keeping the counter
+        fold identical to :meth:`run_batch` and to a serial run.  The
+        generator must be fully consumed (or closed) before the next
+        dispatch; an abandoned iterator leaves tasks in flight.
+        """
+        self._check_open()
+        if labels is not None and len(labels) != len(payloads):
+            raise ValueError("labels must match payloads one-to-one")
+        n = len(payloads)
+        if n == 0:
+            return
+        watch = Stopwatch()
+        meta: List[Tuple[int, int, float]] = []
+        pending: Dict[int, Any] = {}
+        deltas_pending: Dict[int, Dict[str, Number]] = {}
+        next_emit = 0
+        busy: Dict[int, int] = {}
+        next_task = 0
+        for worker in range(min(self.width, n)):
+            self._task_conns[worker].send(
+                (_OP_TASK, next_task, fn, payloads[next_task])
+            )
+            busy[worker] = next_task
+            next_task += 1
+        while busy:
+            ready = wait(
+                [self._result_conns[w] for w in busy]
+                + [self._workers[w].sentinel for w in busy]
+            )
+            progressed = False
+            for worker in sorted(busy):
+                conn = self._result_conns[worker]
+                if conn not in ready or not conn.poll():
+                    continue
+                progressed = True
+                try:
+                    message = conn.recv()
+                except EOFError:
+                    label = _task_label(labels, busy[worker])
+                    raise self._crash(
+                        worker, f"while running task {label!r}"
+                    ) from None
+                if message[0] == "err":
+                    _, index, error = message
+                    del busy[worker]
+                    raise error
+                _, index, result, pid, elapsed, deltas = message
+                pending[index] = result
+                meta.append((index, pid, elapsed))
+                deltas_pending[index] = deltas
+                if next_task < n:
+                    self._task_conns[worker].send(
+                        (_OP_TASK, next_task, fn, payloads[next_task])
+                    )
+                    busy[worker] = next_task
+                    next_task += 1
+                else:
+                    del busy[worker]
+            if progressed:
+                while next_emit in pending:
+                    deltas = deltas_pending.pop(next_emit, {})
+                    for name in sorted(deltas):
+                        obs.add(name, deltas[name])
+                    yield next_emit, pending.pop(next_emit)
+                    next_emit += 1
+                continue
+            for worker in sorted(busy):
+                if not self._workers[worker].is_alive():
+                    label = _task_label(labels, busy[worker])
+                    raise self._crash(
+                        worker, f"while running task {label!r}"
+                    )
+        while next_emit in pending:
+            deltas = deltas_pending.pop(next_emit, {})
+            for name in sorted(deltas):
+                obs.add(name, deltas[name])
+            yield next_emit, pending.pop(next_emit)
+            next_emit += 1
+        obs.add("fanout.tasks", n)
+        _record_worker_stats(meta, labels, watch.elapsed())
 
     def broadcast(self, fn: Callable[[Any], Any], payload: Any) -> List[Any]:
         """Run ``fn(payload)`` once in *every* worker; results by worker.

@@ -30,6 +30,8 @@ from repro.stream.engine import (
 )
 from repro.stream.merge import (
     DEFAULT_BATCH_SIZE,
+    ColumnRecord,
+    ColumnSource,
     RecordStream,
     StreamEvent,
 )
@@ -44,6 +46,8 @@ from repro.stream.state import (
 __all__ = [
     "CHECKPOINT_KIND",
     "CURSOR_CHECKPOINT_KIND",
+    "ColumnRecord",
+    "ColumnSource",
     "DEFAULT_BATCH_SIZE",
     "FeedAccumulator",
     "FrozenFeedStats",

@@ -555,17 +555,18 @@ def build_stream_engine(
     batch_size: int = DEFAULT_BATCH_SIZE,
     jobs: Optional[int] = None,
     cache: Optional["ArtifactCache"] = None,
+    shards: Optional[int] = None,
 ) -> StreamEngine:
     """Build the world, collect the feed suite, and wrap it in an engine.
 
     The record *sources* are deterministic functions of ``(config,
     seed)``, which is what makes checkpoints portable across processes:
     a resuming run rebuilds identical sources and seeks the cursors.
-    ``jobs`` parallelizes source collection and ``cache`` reuses a
-    previously built world + dataset state; neither changes a byte of
-    the stream.
+    ``jobs`` parallelizes source collection, ``shards`` parallelizes the
+    world build itself, and ``cache`` reuses a previously built world +
+    dataset state; none of them changes a byte of the stream.
     """
-    if jobs is not None or cache is not None:
+    if jobs is not None or cache is not None or (shards or 1) > 1:
         # The batch pipeline already implements cached/parallel state
         # construction; reuse it rather than duplicating the key
         # handling here.  Imported lazily to keep the stream layer
@@ -578,6 +579,7 @@ def build_stream_engine(
         with PaperPipeline(
             config, seed=seed, collectors=collectors,
             feed_order=feed_order, jobs=jobs, cache=cache,
+            shards=shards,
         ) as pipeline:
             result = pipeline.run()
         world, datasets = result.world, result.datasets

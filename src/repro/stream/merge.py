@@ -40,6 +40,43 @@ class StreamEvent(NamedTuple):
     domain: str
 
 
+class ColumnRecord(NamedTuple):
+    """A record view over parallel (time, domain) columns.
+
+    Shape-compatible with :class:`repro.feeds.base.FeedRecord` as far
+    as :class:`RecordStream` is concerned (``.time`` and ``.domain``).
+    """
+
+    time: SimTime
+    domain: str
+
+
+class ColumnSource(Sequence):
+    """Lazy record sequence over a time array and a domain list.
+
+    The sharded world build hands :class:`RecordStream` one of these
+    per shard: the columns stay flat (an ``array('q')`` plus a string
+    list) and records materialize one at a time as the merge's heap
+    pulls them, so merging never builds a per-event object graph.
+    """
+
+    __slots__ = ("_times", "_domains")
+
+    def __init__(
+        self, times: Sequence[SimTime], domains: Sequence[str]
+    ) -> None:
+        if len(times) != len(domains):
+            raise ValueError("times and domains must have equal length")
+        self._times = times
+        self._domains = domains
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __getitem__(self, index: int) -> ColumnRecord:
+        return ColumnRecord(self._times[index], self._domains[index])
+
+
 class RecordStream:
     """Merge per-feed record sequences in simulation-time order."""
 
@@ -47,7 +84,13 @@ class RecordStream:
         self,
         sources: Mapping[str, Sequence[FeedRecord]],
         batch_size: int = DEFAULT_BATCH_SIZE,
+        presorted: bool = False,
     ):
+        """*presorted* skips the per-source time-order validation scan
+        -- for callers that sorted the sources themselves (the sharded
+        world build sorts each shard's placement columns before
+        merging) and cannot afford an O(n) pre-pass per source.
+        """
         if not sources:
             raise ValueError("need at least one record source")
         if batch_size <= 0:
@@ -57,13 +100,14 @@ class RecordStream:
         self._sources: List[Sequence[FeedRecord]] = [
             sources[name] for name in self.feed_names
         ]
-        for name, records in zip(self.feed_names, self._sources):
-            for i in range(len(records) - 1):
-                if records[i].time > records[i + 1].time:
-                    raise ValueError(
-                        f"source {name!r} is not time-ordered at index {i}; "
-                        "pass FeedDataset.chronological_records()"
-                    )
+        if not presorted:
+            for name, records in zip(self.feed_names, self._sources):
+                for i in range(len(records) - 1):
+                    if records[i].time > records[i + 1].time:
+                        raise ValueError(
+                            f"source {name!r} is not time-ordered at index "
+                            f"{i}; pass FeedDataset.chronological_records()"
+                        )
         self._cursors: List[int] = [0] * len(self._sources)
         self._emitted = 0
         self._position: Optional[SimTime] = None
