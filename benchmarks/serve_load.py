@@ -1,0 +1,225 @@
+"""Load-test the serve daemon: cold vs. warm latency and throughput.
+
+Writes ``BENCH_serve.json``: requests/sec plus p50/p99 latency for the
+daemon's main endpoints, split into the *cold* phase (first request
+per world key pays the build, concurrent duplicates coalesce) and the
+*warm* phase (resident world, memoized renders).  Run it directly:
+
+    PYTHONPATH=src python benchmarks/serve_load.py --out BENCH_serve.json
+
+The daemon is spawned as a real subprocess of ``python -m repro serve``
+-- the same process boundary production queries cross -- and the
+harness talks plain ``http.client`` with persistent connections.  The
+cold-storm section doubles as a coalescing demonstration: the report
+records the daemon's own counters, so ``worlds_built == 1`` with
+``concurrency`` clients is visible in the artifact, not just asserted
+in tests.
+
+On a single-core container throughput numbers measure the daemon's
+dispatch overhead, not parallel rendering; ``available_cpus`` is
+embedded so readers can tell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import re
+import signal
+import statistics
+import subprocess
+import sys
+import threading
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+SRC = os.path.join(os.path.dirname(HERE), "src")
+
+
+def percentile(samples, fraction):
+    ordered = sorted(samples)
+    if not ordered:
+        return None
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class Client:
+    """One persistent connection issuing timed GETs."""
+
+    def __init__(self, host, port):
+        self.conn = http.client.HTTPConnection(host, port, timeout=600)
+
+    def get(self, path):
+        start = time.perf_counter()
+        self.conn.request("GET", path)
+        response = self.conn.getresponse()
+        body = response.read()
+        elapsed = time.perf_counter() - start
+        if response.status != 200:
+            raise RuntimeError(f"{path} -> {response.status}: {body[:200]!r}")
+        return elapsed, len(body)
+
+    def close(self):
+        self.conn.close()
+
+
+def storm(host, port, path, clients, requests_each):
+    """`clients` concurrent connections each issuing `requests_each`
+    GETs of *path*; returns every latency sample plus the wall time."""
+    latencies = []
+    errors = []
+    lock = threading.Lock()
+
+    def worker():
+        client = Client(host, port)
+        try:
+            for _ in range(requests_each):
+                sample = client.get(path)[0]
+                with lock:
+                    latencies.append(sample)
+        except Exception as exc:  # noqa: BLE001 - recorded in the report
+            with lock:
+                errors.append(repr(exc))
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    return latencies, wall, errors
+
+
+def summarize(label, path, latencies, wall, errors):
+    return {
+        "label": label,
+        "path": path,
+        "requests": len(latencies),
+        "errors": errors,
+        "wall_seconds": round(wall, 3),
+        "requests_per_second": (
+            round(len(latencies) / wall, 2) if wall > 0 else None
+        ),
+        "p50_seconds": round(percentile(latencies, 0.50), 4)
+        if latencies else None,
+        "p99_seconds": round(percentile(latencies, 0.99), 4)
+        if latencies else None,
+        "max_seconds": round(max(latencies), 4) if latencies else None,
+        "mean_seconds": round(statistics.fmean(latencies), 4)
+        if latencies else None,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument(
+        "--small", action="store_true",
+        help="serve the miniature world (CI smoke)",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=8,
+        help="concurrent client connections (default 8)",
+    )
+    parser.add_argument(
+        "--warm-requests", type=int, default=25,
+        help="warm requests per client per endpoint (default 25)",
+    )
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    command = [sys.executable, "-m", "repro", "--seed", str(args.seed)]
+    if args.small:
+        command.append("--small")
+    command += ["serve", "--no-cache"]
+    print(f"[serve-load] starting: {' '.join(command)}", file=sys.stderr)
+    daemon = subprocess.Popen(
+        command, stderr=subprocess.PIPE, stdout=subprocess.PIPE,
+        text=True, env=env,
+    )
+    try:
+        ready = daemon.stderr.readline()
+        match = re.search(r"listening on http://([\d.]+):(\d+)", ready)
+        if not match:
+            raise RuntimeError(f"no readiness line: {ready!r}")
+        host, port = match.group(1), int(match.group(2))
+
+        phases = []
+
+        # Cold storm: every client asks for the full table set of a
+        # world nobody has built yet.  One build, N-1 coalesced waits:
+        # p50 ~ p99 ~ build time, and the daemon counters prove the
+        # coalescing.
+        latencies, wall, errors = storm(
+            host, port, "/v1/tables", args.concurrency, 1
+        )
+        phases.append(
+            summarize("cold-storm", "/v1/tables", latencies, wall, errors)
+        )
+
+        # Warm phases: resident world, memoized renders; latency is
+        # dispatch + memcpy of the response body.
+        for label, path in [
+            ("warm-tables", "/v1/tables"),
+            ("warm-feeds-json", "/v1/feeds"),
+            ("warm-snapshot", "/v1/snapshot?day=30"),
+            ("warm-recommend", "/v1/recommend?question=coverage"),
+        ]:
+            latencies, wall, errors = storm(
+                host, port, path, args.concurrency, args.warm_requests
+            )
+            phases.append(summarize(label, path, latencies, wall, errors))
+
+        stats_client = Client(host, port)
+        stats_client.conn.request("GET", "/v1/stats")
+        counters = json.loads(stats_client.conn.getresponse().read())[
+            "metrics"
+        ]["counters"]
+        stats_client.close()
+    finally:
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            daemon.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            daemon.communicate()
+
+    cold = phases[0]
+    warm = next(p for p in phases if p["label"] == "warm-tables")
+    derived = {}
+    if cold["p50_seconds"] and warm["p50_seconds"]:
+        derived["cold_over_warm_p50"] = round(
+            cold["p50_seconds"] / warm["p50_seconds"], 1
+        )
+    report = {
+        "available_cpus": os.cpu_count(),
+        "seed": args.seed,
+        "small": args.small,
+        "concurrency": args.concurrency,
+        "daemon_exit_code": daemon.returncode,
+        "phases": phases,
+        "daemon_counters": counters,
+        "derived": derived,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    built = counters.get("serve.worlds_built")
+    print(
+        f"[serve-load] worlds built: {built} "
+        f"(storm of {args.concurrency}); wrote {args.out}",
+        file=sys.stderr,
+    )
+    return 0 if daemon.returncode == 0 and built == 1 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,8 @@ Subcommands:
                    order, with windowed snapshots and checkpoint/resume.
 * ``query``     -- answer cross-run questions (first-seen, feed stats,
                    sighting listings) from a persisted sighting store.
+* ``serve``     -- long-lived query daemon over a local HTTP socket:
+                   worlds build once (coalesced) and answer many.
 * ``recommend`` -- rank feeds for a research question (Section 5).
 * ``filter``    -- evaluate feeds as blocking oracles.
 * ``lint``      -- run the reprolint determinism analyzer (REP001..008)
@@ -19,12 +21,18 @@ helper; stdout carries only the analysis artifacts.  Observability
 (``--trace``/``--metrics``) is a side channel: the manifest goes to
 its own file and the summary tables to stderr, so a traced run's
 stdout is byte-identical to an untraced one.
+
+Interrupts are part of the CLI contract: SIGINT exits 130 and SIGTERM
+exits 143, both after ``finally`` blocks have reaped worker pools and
+closed stores -- an interrupted run never leaves orphan processes or a
+half-landed store visible.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 from typing import Optional, Sequence
 
@@ -352,6 +360,12 @@ def _cmd_query(args) -> int:
             )
         else:  # runs
             print(render_runs(store))
+    except StoreError as exc:
+        # Belt and braces behind open-time validation: a store that
+        # turns malformed mid-query still reports cleanly instead of
+        # dumping a traceback.
+        print(f"error: {args.store}: {exc}", file=sys.stderr)
+        return 2
     finally:
         store.close()
     return 0
@@ -450,17 +464,21 @@ def _cmd_manifest(args) -> int:
 
 
 def _cmd_recommend(args) -> int:
-    pipeline = _build_pipeline(args)
-    question = Question(args.question)
-    ranking = rank_feeds(pipeline.comparison, question)
-    print(f"Feed ranking for question: {question.value}")
-    for rank, score in enumerate(ranking, start=1):
-        print(f"  {rank:2}. {score}")
+    with _build_pipeline(args) as pipeline:
+        question = Question(args.question)
+        ranking = rank_feeds(pipeline.comparison, question)
+        print(f"Feed ranking for question: {question.value}")
+        for rank, score in enumerate(ranking, start=1):
+            print(f"  {rank:2}. {score}")
     return 0
 
 
 def _cmd_filter(args) -> int:
-    pipeline = _build_pipeline(args)
+    with _build_pipeline(args) as pipeline:
+        return _filter_body(pipeline)
+
+
+def _filter_body(pipeline: PaperPipeline) -> int:
     reports = evaluate_all_filters(pipeline.comparison)
     table = Table(
         ["Feed", "Listed", "Precision", "Vol. recall", "Timely recall",
@@ -481,6 +499,73 @@ def _cmd_filter(args) -> int:
         )
     print(table.render())
     return 0
+
+
+def _cmd_serve(args) -> int:
+    # Imported here so batch subcommands never pay for the HTTP stack.
+    from repro.serve import ServeApp, ServeDaemon, ServeStats, WorldCache
+
+    store = None
+    if args.store:
+        # The daemon answers /v1/first-seen from request threads but
+        # opens the store on the main thread: cross-thread connection,
+        # serialized by the app's store lock.
+        store = SightingStore.open(args.store, cross_thread=True)
+    stats = ServeStats()
+    worlds = WorldCache(
+        stats,
+        jobs=args.jobs,
+        shards=args.shards,
+        cache=_artifact_cache(args),
+        store_path=args.store or None,
+        max_worlds=args.max_worlds,
+    )
+    app = ServeApp(
+        worlds,
+        stats,
+        default_seed=args.seed,
+        default_small=args.small,
+        store=store,
+    )
+    try:
+        daemon = ServeDaemon(
+            app,
+            host=args.host,
+            port=args.port,
+            manifest_dir=args.manifest_dir,
+            verbose=not args.quiet,
+        )
+    except OSError as exc:
+        print(
+            f"error: cannot bind {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        worlds.close()
+        app.close()
+        return 2
+    daemon.start()
+    # Drain handlers must be live before readiness is announced: a
+    # supervisor may signal the instant it reads the line, and that
+    # signal must mean "drain and exit 0", never the batch CLI's
+    # exit-with-status handlers.
+    daemon.install_signal_handlers()
+    # The readiness line is a contract: tests and the load harness
+    # parse the port out of it, so it is printed (and flushed) even
+    # under --quiet.
+    print(
+        f"[serve] listening on {daemon.address} (pid {os.getpid()})",
+        file=sys.stderr,
+        flush=True,
+    )
+    _progress(
+        args,
+        "[serve] Ctrl-C or SIGTERM drains in-flight requests and exits",
+    )
+    try:
+        return daemon.wait_for_signal()
+    except BaseException:
+        daemon.drain()
+        raise
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -710,8 +795,77 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     filter_parser.set_defaults(handler=_cmd_filter)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="long-lived analysis query daemon over a local HTTP socket",
+        description="Worlds build (or cache-load) on demand, keyed by "
+                    "(config fingerprint, seed), stay resident with "
+                    "their worker pools, and answer concurrent queries; "
+                    "identical in-flight requests coalesce into one "
+                    "computation. GET / for the endpoint list. "
+                    "Responses are byte-identical to the batch CLI for "
+                    "the same parameters.",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address (default 127.0.0.1; the daemon is "
+             "unauthenticated, keep it local)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="bind port (default 0 = pick a free port; the readiness "
+             "line on stderr names it)",
+    )
+    serve_parser.add_argument(
+        "--max-worlds", type=int, default=4, metavar="N",
+        help="keep at most N worlds resident (LRU eviction; default 4)",
+    )
+    serve_parser.add_argument(
+        "--manifest-dir", default=None, metavar="DIR",
+        help="write one repro-run-manifest JSON per request into DIR",
+    )
+    serve_parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes per resident world "
+             "(default 1 = serial, 0 = all cores)",
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="build worlds in N parallel shards",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact cache location "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="build every world from scratch; neither read nor write "
+             "the artifact cache",
+    )
+    serve_parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="durable sighting store: builds land sightings into it "
+             "and /v1/first-seen answers from it",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
     args = parser.parse_args(argv)
-    return args.handler(args)
+
+    def on_sigterm(signum: int, frame: object) -> None:
+        # Raising (not exiting) unwinds through every finally block:
+        # pools reaped, stores closed, then the conventional 128+15.
+        raise SystemExit(143)
+
+    try:
+        signal.signal(signal.SIGTERM, on_sigterm)
+    except ValueError:  # pragma: no cover - main() called off-main-thread
+        pass
+    try:
+        return args.handler(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -30,7 +30,8 @@ MANIFEST_FORMAT = "repro-run-manifest"
 
 #: Manifest schema version; bump on incompatible layout changes.
 #: v2 added ``scale`` and ``shards`` (sharded world build).
-MANIFEST_VERSION = 2
+#: v3 added ``request`` (per-request manifests from the serve daemon).
+MANIFEST_VERSION = 3
 
 #: Top-level manifest fields and a human-readable type description —
 #: the documentation twin of :func:`validate_manifest`.
@@ -44,6 +45,7 @@ MANIFEST_SCHEMA: Dict[str, str] = {
     "jobs": "int | null — requested worker count (null = serial)",
     "scale": "number | null — world scale factor (null = paper scale)",
     "shards": "int | null — world-build shard count (null = serial)",
+    "request": "str | null — serve request descriptor (null = batch run)",
     "created_unix": "float — wall-clock write time (side channel only)",
     "spans": "list[Span] — the span tree (see Span payload fields)",
     "metrics": "{'counters': {str: num}, 'gauges': {str: num}}",
@@ -95,6 +97,7 @@ def build_manifest(
     jobs: Optional[int] = None,
     scale: Optional[float] = None,
     shards: Optional[int] = None,
+    request: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Freeze a finished run into a schema-valid manifest dict."""
     manifest: Dict[str, Any] = {
@@ -107,6 +110,7 @@ def build_manifest(
         "jobs": jobs,
         "scale": scale,
         "shards": shards,
+        "request": request,
         "created_unix": wall_now(),
         "spans": tracer.span_payloads(),
         "metrics": tracer.metrics.snapshot(),
@@ -209,6 +213,9 @@ def validate_manifest(manifest: Any) -> None:
         isinstance(shards, bool) or not isinstance(shards, int)
     ):
         _fail("shards", "must be an integer or null")
+    request = manifest["request"]
+    if request is not None and not isinstance(request, str):
+        _fail("request", "must be a string or null")
     _check_number(manifest["created_unix"], "created_unix")
     spans = manifest["spans"]
     if not isinstance(spans, list):

@@ -37,6 +37,7 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import os
+import signal
 from multiprocessing.connection import Connection, wait
 from typing import (
     Any,
@@ -72,7 +73,11 @@ class PoolClosed(RuntimeError):
     """The pool was used after :meth:`WorkerPool.close`."""
 
 
-def _worker_main(task_conn: Connection, result_conn: Connection) -> None:
+def _worker_main(
+    task_conn: Connection,
+    result_conn: Connection,
+    parent_conns: Sequence[Connection] = (),
+) -> None:
     """Worker loop: run task descriptors until told to stop.
 
     Every task runs under the same accounting contract as
@@ -84,6 +89,30 @@ def _worker_main(task_conn: Connection, result_conn: Connection) -> None:
     the worker survives a failing task; only the parent decides
     whether to keep going.
     """
+    # Ctrl-C delivers SIGINT to the whole foreground process group.
+    # Workers must not race the parent with their own KeyboardInterrupt
+    # tracebacks: they ignore the signal and exit when the parent's
+    # interrupt path closes the pool (stop message or EOF on the pipe).
+    # SIGTERM must stay *fatal*: the CLI installs a handler that raises
+    # SystemExit, and a forked worker inheriting it could swallow the
+    # parent's terminate() inside the task error path while blocked in
+    # a full result pipe -- the worker would outlive the parent.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    # The fork copied every parent-side pipe end into this process:
+    # our own task pipe's *write* end (recv() could never see EOF --
+    # we would be holding it open ourselves) and earlier siblings'
+    # result-pipe *read* ends (their sends could never raise
+    # BrokenPipeError while we live).  Close them all so "the parent
+    # is gone" is always observable from inside a worker.
+    for conn in parent_conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
     while True:
         try:
             message = task_conn.recv()
@@ -108,6 +137,11 @@ def _worker_main(task_conn: Connection, result_conn: Connection) -> None:
                 ("ok", index, result, os.getpid(), elapsed, deltas)
             )
         except BaseException as exc:  # noqa: BLE001 - shipped to parent
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                # Shutdown, not a task failure: die now so the parent
+                # sees EOF instead of this worker wedging in another
+                # blocking send on an already-full result pipe.
+                raise
             try:
                 result_conn.send(("err", index, exc))
             except Exception:
@@ -155,26 +189,41 @@ class WorkerPool:
         gc.collect()
         gc.freeze()
         self._frozen = True
-        for _ in range(width):
-            # Pipe(duplex=False) returns (read-end, write-end): the
-            # parent writes tasks and reads results, the worker holds
-            # the opposite ends.
-            task_recv, task_send = context.Pipe(duplex=False)
-            result_recv, result_send = context.Pipe(duplex=False)
-            process = context.Process(
-                target=_worker_main,
-                args=(task_recv, result_send),
-                daemon=True,
-            )
-            process.start()
-            # The worker holds the other ends; closing ours makes its
-            # recv() raise EOFError if the parent dies uncleanly.
-            task_recv.close()
-            result_send.close()
-            self._workers.append(process)
-            self._task_conns.append(task_send)
-            self._result_conns.append(result_recv)
+        # Open for business *before* forking so an interrupt landing
+        # mid-construction still reaps the workers already started
+        # (close() is a no-op while _closed is True).
         self._closed = False
+        try:
+            for _ in range(width):
+                # Pipe(duplex=False) returns (read-end, write-end): the
+                # parent writes tasks and reads results, the worker
+                # holds the opposite ends.
+                task_recv, task_send = context.Pipe(duplex=False)
+                result_recv, result_send = context.Pipe(duplex=False)
+                # Everything parent-side the fork is about to duplicate
+                # into this worker; the worker closes them on startup.
+                inherited = (
+                    list(self._task_conns)
+                    + list(self._result_conns)
+                    + [task_send, result_recv]
+                )
+                process = context.Process(
+                    target=_worker_main,
+                    args=(task_recv, result_send, inherited),
+                    daemon=True,
+                )
+                process.start()
+                # The worker holds the other ends; closing ours makes
+                # its recv() raise EOFError if the parent dies
+                # uncleanly.
+                task_recv.close()
+                result_send.close()
+                self._workers.append(process)
+                self._task_conns.append(task_send)
+                self._result_conns.append(result_recv)
+        except BaseException:
+            self.close()
+            raise
 
     # ------------------------------------------------------------------
     # Introspection
@@ -435,7 +484,17 @@ class WorkerPool:
     # ------------------------------------------------------------------
 
     def close(self, timeout: float = 5.0) -> None:
-        """Stop and reap all workers.  Safe to call any number of times."""
+        """Stop and reap all workers.  Safe to call any number of times.
+
+        Shutdown escalates: STOP message, then SIGTERM, then SIGKILL.
+        Between steps the parent drains each result pipe -- a worker
+        mid-task when the pool closes may be blocked writing a large
+        result into a full pipe, and it cannot notice the STOP (or be
+        unblocked by the parent closing its ends: forked siblings hold
+        duplicate descriptors) until someone reads.  SIGKILL is the
+        backstop that makes close() unconditionally terminal, so an
+        interrupted run can never leak live workers past process exit.
+        """
         if self._closed:
             return
         self._closed = True
@@ -444,10 +503,14 @@ class WorkerPool:
                 conn.send((_OP_STOP, None))
             except (BrokenPipeError, OSError):
                 pass  # worker already gone
-        for process in self._workers:
+        for worker, process in enumerate(self._workers):
+            self._drain_result(worker)
             process.join(timeout)
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
+                process.join(timeout)
+            if process.is_alive():  # pragma: no cover - wedged in send
+                process.kill()
                 process.join(timeout)
         for conn in self._task_conns + self._result_conns:
             try:
@@ -457,3 +520,12 @@ class WorkerPool:
         if self._frozen:
             self._frozen = False
             gc.unfreeze()
+
+    def _drain_result(self, worker: int) -> None:
+        """Discard buffered results so a send-blocked worker can exit."""
+        conn = self._result_conns[worker]
+        try:
+            while self._workers[worker].is_alive() and conn.poll(0.05):
+                conn.recv()
+        except (EOFError, OSError):  # pragma: no cover - worker raced us
+            pass

@@ -44,6 +44,7 @@ from repro.feeds.base import ColumnarFeedDataset, PackedColumns
 from repro.io.artifacts import ArtifactCache, artifact_key, fingerprint
 from repro.store.sightings import RunWriter, SightingStore, run_key_for
 from repro.parallel import (
+    PoolClosed,
     WorkerCrashed,
     WorkerPool,
     fork_available,
@@ -234,6 +235,16 @@ class PaperPipeline:
         """
         if self._result is not None:
             return self._result
+        try:
+            return self._run_cold()
+        except BaseException:
+            # An interrupt (or any crash) between the pool fork and the
+            # end of collection must not orphan the workers: reap them
+            # on the way out so Ctrl-C leaves no children behind.
+            self.close()
+            raise
+
+    def _run_cold(self) -> PipelineResult:
         with obs.span("pipeline.run", seed=self.seed):
             writer = self._open_store_run()
             with obs.span("cache.load-state"):
@@ -305,6 +316,13 @@ class PaperPipeline:
                 self._pool = WorkerPool(width)
             except WorkerCrashed:
                 clear_pool_state()  # degrade to the per-stage fan-out
+
+    @property
+    def pool_width(self) -> int:
+        """Live workers in the persistent pool (0 = serial or degraded)."""
+        if self._pool is None or self._pool.closed:
+            return 0
+        return self._pool.width
 
     def close(self) -> None:
         """Release the worker pool and its pre-fork state.  Idempotent."""
@@ -665,27 +683,36 @@ class PaperPipeline:
                 for fn in renderers
             ]
             width = resolve_jobs(self.jobs if jobs is None else jobs)
+            parts: Optional[List[str]] = None
             if width > 1 and self._pool is not None and not self._pool.closed:
                 result = self.run()
-                if not self._render_installed:
-                    # One broadcast ships the packed columns into every
-                    # worker; the workers warm their own comparison
-                    # there, so the parent never pays the crawl.
-                    packed = [
-                        result.datasets[name].packed()
-                        for name in result.datasets
-                    ]
-                    self._pool.broadcast(
-                        _pool_install_render_state,
-                        (packed, self.seed, list(self.feed_order)),
+                try:
+                    if not self._render_installed:
+                        # One broadcast ships the packed columns into
+                        # every worker; the workers warm their own
+                        # comparison there, so the parent never pays
+                        # the crawl.
+                        packed = [
+                            result.datasets[name].packed()
+                            for name in result.datasets
+                        ]
+                        self._pool.broadcast(
+                            _pool_install_render_state,
+                            (packed, self.seed, list(self.feed_order)),
+                        )
+                        self._render_installed = True
+                    parts = self._pool.run_batch(
+                        _pool_render_task,
+                        [fn.__name__ for fn in renderers],
+                        labels=labels,
                     )
-                    self._render_installed = True
-                parts = self._pool.run_batch(
-                    _pool_render_task,
-                    [fn.__name__ for fn in renderers],
-                    labels=labels,
-                )
-            else:
+                except (PoolClosed, WorkerCrashed):
+                    # A reaped or crashed pool degrades to the serial /
+                    # per-stage path below; renders are pure, so the
+                    # text is identical either way.
+                    self.close()
+                    parts = None
+            if parts is None:
                 if width > 1:
                     # Warm the shared expensive analyses before the pool
                     # forks so every worker inherits them copy-on-write

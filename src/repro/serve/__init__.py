@@ -1,0 +1,36 @@
+"""``repro.serve`` -- the long-lived analysis query daemon.
+
+``python -m repro serve`` turns the batch pipeline into a resident
+service: worlds are built (or artifact-cache-loaded) on demand, keyed
+by ``(config fingerprint, seed)``, kept warm in an LRU with their
+worker pools alive, and queried concurrently over a local HTTP socket.
+Identical in-flight requests coalesce through
+:class:`~repro.serve.singleflight.SingleFlight`, so a cold-start storm
+costs one build.  Every response is byte-identical to what the batch
+CLI prints for the same parameters -- the daemon changes *when* things
+are computed, never *what*.
+
+Layering (each importable and testable without the one above):
+
+* :mod:`repro.serve.singleflight` -- the coalescing primitive.
+* :mod:`repro.serve.worlds` -- resident worlds, derived-answer caches.
+* :mod:`repro.serve.app` -- request routing, transport-free.
+* :mod:`repro.serve.server` -- HTTP transport, signals, manifests.
+"""
+
+from repro.serve.app import BadRequest, Response, ServeApp
+from repro.serve.server import ServeDaemon, probe
+from repro.serve.singleflight import SingleFlight
+from repro.serve.worlds import ServeStats, WorldCache, WorldEntry
+
+__all__ = [
+    "BadRequest",
+    "Response",
+    "ServeApp",
+    "ServeDaemon",
+    "ServeStats",
+    "SingleFlight",
+    "WorldCache",
+    "WorldEntry",
+    "probe",
+]

@@ -1,0 +1,90 @@
+"""Single-flight request coalescing.
+
+The serve daemon's cold-start hazard: N clients ask for the same
+expensive answer (a world build, a full render) at the same instant,
+and a naive server computes it N times -- N× the latency, N× the RSS,
+and N racing writers against the artifact cache.  :class:`SingleFlight`
+collapses that storm into one computation: the first caller for a key
+becomes the *leader* and runs the function; everyone else arriving
+while it is in flight becomes a *waiter* and blocks until the leader
+finishes, then shares its result (or its exception).
+
+This is a coalescing primitive, not a cache: the key is forgotten the
+moment the leader finishes, so a request arriving *after* completion
+starts a fresh flight.  Durable reuse is the world cache's job --
+single-flight only guarantees that identical concurrent work happens
+once.
+
+Determinism note: every computation routed through here is a pure
+function of its key (worlds and renders are pure functions of
+``(config fingerprint, seed, as-of-day)``), so sharing the leader's
+result is observationally identical to recomputing it -- coalescing
+changes wall-clock and build counts, never bytes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+class _Flight:
+    """One in-flight computation and its eventual outcome."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class SingleFlight:
+    """Coalesce concurrent calls with equal keys into one execution."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[Any, _Flight] = {}
+
+    def do(self, key: Any, fn: Callable[[], Any]) -> Tuple[Any, bool]:
+        """Run ``fn()`` once per concurrent burst of *key*.
+
+        Returns ``(result, leader)`` where *leader* is True for the
+        caller that actually executed *fn*.  A leader's exception is
+        re-raised in every coalesced caller: the waiters asked the
+        same question, so they get the same answer either way.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+            else:
+                leader = False
+        if leader:
+            try:
+                flight.value = fn()
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                # Forget the key before releasing the waiters so the
+                # next arrival starts a fresh flight instead of
+                # latching onto a finished one.
+                with self._lock:
+                    del self._flights[key]
+                flight.done.set()
+            return flight.value, True
+        flight.done.wait()
+        if flight.error is not None:
+            raise flight.error
+        return flight.value, False
+
+    def in_flight(self) -> int:
+        """Number of keys currently being computed (for stats only)."""
+        with self._lock:
+            return len(self._flights)
+
+
+__all__ = ["SingleFlight"]

@@ -442,11 +442,17 @@ class SqliteBackend:
     format marker and version.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, cross_thread: bool = False) -> None:
         self.path = path
         existed = path != ":memory:" and os.path.exists(path)
         try:
-            self._conn = sqlite3.connect(path)
+            # cross_thread drops SQLite's same-thread check for callers
+            # (the serve daemon) that open on one thread and query from
+            # request threads behind their own lock; the backend itself
+            # never synchronizes.
+            self._conn = sqlite3.connect(
+                path, check_same_thread=not cross_thread
+            )
         except sqlite3.Error as exc:
             raise StoreError(f"{path}: cannot open store: {exc}") from exc
         try:
@@ -487,6 +493,32 @@ class SqliteBackend:
                 f"{self.path}: unsupported store version {version!r} "
                 f"(expected {STORE_VERSION})"
             )
+        # Structural check: a file can carry a plausible meta table yet
+        # miss (or mangle) the data tables — e.g. a foreign SQLite file
+        # or a half-converted store.  Failing here turns what would be
+        # a raw OperationalError mid-query into a clean StoreError at
+        # open time.
+        for table, expected in STORE_SCHEMA_COLUMNS.items():
+            try:
+                info = self._conn.execute(
+                    f"PRAGMA table_info({table})"
+                ).fetchall()
+            except sqlite3.Error as exc:
+                raise StoreError(
+                    f"{self.path}: not a sighting store: {exc}"
+                ) from exc
+            present = tuple(row[1] for row in info)
+            if not info:
+                raise StoreError(
+                    f"{self.path}: not a sighting store: missing "
+                    f"table {table!r}"
+                )
+            if present != expected:
+                raise StoreError(
+                    f"{self.path}: not a sighting store: table "
+                    f"{table!r} has columns {present}, expected "
+                    f"{expected}"
+                )
 
     # -- writes --------------------------------------------------------
 

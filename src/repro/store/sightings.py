@@ -250,9 +250,14 @@ class SightingStore:
         self.backend = backend
 
     @classmethod
-    def open(cls, path: str) -> "SightingStore":
-        """Open (or create) a durable SQLite-backed store at *path*."""
-        return cls(SqliteBackend(path))
+    def open(cls, path: str, cross_thread: bool = False) -> "SightingStore":
+        """Open (or create) a durable SQLite-backed store at *path*.
+
+        ``cross_thread=True`` allows the connection to be used from
+        threads other than the opener's; the caller must serialize
+        access (the serve daemon does, behind one lock).
+        """
+        return cls(SqliteBackend(path, cross_thread=cross_thread))
 
     @classmethod
     def in_memory(cls) -> "SightingStore":

@@ -241,3 +241,87 @@ class TestPipelineCache:
         fresh = PaperPipeline(small_config(), seed=7, cache=cache)
         fresh.run()  # recomputes and re-stores
         assert cache.contains(state_key)
+
+
+class TestCrossProcessConcurrency:
+    """The serve cold-start pattern: several *processes* store and load
+    the same key at once.  ``store`` writes via mkstemp + ``os.replace``
+    (atomic on POSIX), and the envelope check turns any conceivable
+    partial state into a miss -- so concurrent readers must only ever
+    see a full payload or a miss, never a torn one."""
+
+    def test_concurrent_writers_and_readers_never_tear(self, tmp_path):
+        import multiprocessing
+        import pickle
+
+        cache_dir = str(tmp_path / "cache")
+        payload = {"rows": list(range(2000)), "tag": "serve-cold-start"}
+        key = "deadbeef" * 8  # fixed 64-hex key: every process collides
+        blob = pickle.dumps(payload)
+
+        def hammer(result_queue) -> None:
+            from repro.io.artifacts import ArtifactCache
+
+            cache = ArtifactCache(cache_dir)
+            outcomes = []
+            for _ in range(40):
+                cache.store(key, pickle.loads(blob))
+                loaded = cache.load(key)
+                # A miss (None) is acceptable mid-replace; a partial
+                # or corrupt payload is not.
+                outcomes.append(loaded is None or loaded == payload)
+            result_queue.put(all(outcomes))
+
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(target=hammer, args=(queue,)) for _ in range(4)
+        ]
+        for proc in procs:
+            proc.start()
+        results = [queue.get(timeout=120) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=120)
+        assert all(proc.exitcode == 0 for proc in procs)
+        assert all(results)
+        # After the storm the key holds one intact copy.
+        cache = ArtifactCache(cache_dir)
+        assert cache.load(key) == payload
+        # No stray temp files survived the concurrent replaces.
+        stray = [
+            name
+            for _, _, files in os.walk(cache_dir)
+            for name in files
+            if name.endswith(".tmp")
+        ]
+        assert stray == []
+
+    def test_reader_mid_replace_sees_old_or_new_never_mixed(self, tmp_path):
+        import multiprocessing
+
+        cache_dir = str(tmp_path / "cache")
+        key = "cafebabe" * 8
+        cache = ArtifactCache(cache_dir)
+        cache.store(key, "A" * 65536)
+
+        def flip(stop_queue) -> None:
+            from repro.io.artifacts import ArtifactCache
+
+            writer = ArtifactCache(cache_dir)
+            for index in range(60):
+                writer.store(key, ("A" if index % 2 else "B") * 65536)
+            stop_queue.put(True)
+
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        proc = ctx.Process(target=flip, args=(queue,))
+        proc.start()
+        seen = set()
+        while queue.empty():
+            value = cache.load(key)
+            if value is not None:
+                seen.add(value[0])
+                assert value in ("A" * 65536, "B" * 65536)
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+        assert seen <= {"A", "B"} and seen

@@ -250,3 +250,137 @@ class TestTruncationWarning:
         )
         _finish_observability(args, tracer, "run", small_config())
         assert "warning" not in capsys.readouterr().err
+
+
+class TestQueryRejectsMalformedStores:
+    """``query`` against anything that is not a sighting store: a clean
+    two-line error and exit code 2, never a traceback -- whatever shape
+    the corruption takes."""
+
+    def _query(self, capsys, path, *args):
+        code = main(["query", "--store", path, *(args or ("runs",))])
+        captured = capsys.readouterr()
+        return code, captured.err
+
+    def test_missing_path(self, tmp_path, capsys):
+        code, err = self._query(capsys, str(tmp_path / "absent.sqlite"))
+        assert code == 2
+        assert "error:" in err
+
+    def test_garbage_file(self, tmp_path, capsys):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"\x00" * 128)
+        code, err = self._query(capsys, str(path))
+        assert code == 2
+        assert "not a sighting store" in err
+
+    def test_foreign_sqlite_file(self, tmp_path, capsys):
+        import sqlite3
+
+        path = str(tmp_path / "foreign.sqlite")
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE users(id INTEGER PRIMARY KEY)")
+        conn.commit()
+        conn.close()
+        code, err = self._query(capsys, path)
+        assert code == 2
+        assert "not a sighting store" in err
+
+    def test_valid_meta_but_missing_data_tables(self, tmp_path, capsys):
+        """The regression this PR fixes: a file carrying a plausible
+        meta table but none of the data tables used to escape as a raw
+        ``sqlite3.OperationalError`` traceback (exit 1)."""
+        import sqlite3
+
+        path = str(tmp_path / "meta-only.sqlite")
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "CREATE TABLE meta(key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        conn.execute(
+            "INSERT INTO meta VALUES('format', 'repro-sighting-store')"
+        )
+        conn.execute("INSERT INTO meta VALUES('version', '1')")
+        conn.commit()
+        conn.close()
+        for sub in (
+            ("runs",),
+            ("feed-stats",),
+            ("sightings",),
+            ("first-seen", "x.example"),
+        ):
+            code, err = self._query(capsys, path, *sub)
+            assert code == 2, sub
+            assert "not a sighting store" in err
+            assert "Traceback" not in err
+
+    def test_wrong_columns(self, tmp_path, capsys):
+        import sqlite3
+
+        path = str(tmp_path / "drifted.sqlite")
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "CREATE TABLE meta(key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        conn.execute(
+            "INSERT INTO meta VALUES('format', 'repro-sighting-store')"
+        )
+        conn.execute("INSERT INTO meta VALUES('version', '1')")
+        for table in ("runs", "bronze", "silver", "gold"):
+            conn.execute(f"CREATE TABLE {table}(wrong INTEGER)")
+        conn.commit()
+        conn.close()
+        code, err = self._query(capsys, path)
+        assert code == 2
+        assert "not a sighting store" in err
+
+    def test_good_store_still_opens(self, tmp_path, capsys):
+        path = str(tmp_path / "good.sqlite")
+        store = SightingStore.open(path)
+        store.close()
+        code, err = self._query(capsys, path)
+        assert code == 0, err
+
+
+class TestCrossThreadOpen:
+    def test_cross_thread_connection_usable_from_another_thread(
+        self, tmp_path
+    ):
+        import threading
+
+        path = str(tmp_path / "xt.sqlite")
+        store = SightingStore.open(path, cross_thread=True)
+        errors = []
+
+        def use():
+            try:
+                store.runs()
+                store.first_seen("x.example")
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        thread = threading.Thread(target=use)
+        thread.start()
+        thread.join(timeout=30)
+        store.close()
+        assert errors == []
+
+    def test_default_open_stays_thread_bound(self, tmp_path):
+        import sqlite3
+        import threading
+
+        path = str(tmp_path / "bound.sqlite")
+        store = SightingStore.open(path)
+        errors = []
+
+        def use():
+            try:
+                store.runs()
+            except sqlite3.ProgrammingError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=use)
+        thread.start()
+        thread.join(timeout=30)
+        store.close()
+        assert len(errors) == 1
